@@ -1,0 +1,130 @@
+package repro
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildCmds compiles the repository's command-line tools once per test
+// binary into a shared temp dir.
+func buildCmds(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, name := range []string{"thistle", "tlmapper", "tlmodel", "experiments"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+	}
+	return dir
+}
+
+// TestCLIEndToEnd drives the full toolchain: thistle optimizes a layer
+// and emits a spec bundle; tlmodel re-evaluates the bundle and must
+// report the same energy; tlmapper searches the same layer; experiments
+// renders the static tables.
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	// thistle on a small layer with specs and code emission.
+	out := run("thistle", "-layer", "resnet18_L12", "-code")
+	for _, want := range []string{"pJ/MAC", "--- spec bundle ---", "--- tiled loop nest ---", "copy_in("} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("thistle output missing %q:\n%s", want, out)
+		}
+	}
+	// Extract the bundle and feed it to tlmodel.
+	idx := strings.Index(out, "--- spec bundle ---")
+	end := strings.Index(out, "--- tiled loop nest ---")
+	bundle := out[idx+len("--- spec bundle ---\n") : end]
+	bundlePath := filepath.Join(t.TempDir(), "bundle.yaml")
+	if err := os.WriteFile(bundlePath, []byte(bundle), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mout := run("tlmodel", "-bundle", bundlePath)
+	if !strings.Contains(mout, "constraints:   ok") {
+		t.Fatalf("tlmodel rejected the thistle design:\n%s", mout)
+	}
+	// The pJ/MAC figures must agree between the two tools.
+	thistlePJ := extractBetween(t, out, "energy:       ", " pJ/MAC")
+	modelPJ := extractBetween(t, mout, "pJ (", " pJ/MAC)")
+	if thistlePJ != modelPJ {
+		t.Fatalf("thistle pJ/MAC %q != tlmodel %q", thistlePJ, modelPJ)
+	}
+
+	// tlmapper quick search.
+	sout := run("tlmapper", "-layer", "resnet18_L12", "-threads", "2",
+		"-trials", "500", "-victory", "200", "-specs")
+	if !strings.Contains(sout, "best energy:") || !strings.Contains(sout, "target: DRAM") {
+		t.Fatalf("tlmapper output:\n%s", sout)
+	}
+
+	// experiments static tables.
+	eout := run("experiments", "-exp", "table2,table3")
+	if !strings.Contains(eout, "resnet18_L1") || !strings.Contains(eout, "energy_per_MAC_pJ") {
+		t.Fatalf("experiments output:\n%s", eout)
+	}
+}
+
+// TestCLIErrors exercises the failure paths of the tools.
+func TestCLIErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	fail := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, out)
+		}
+		return string(out)
+	}
+	if out := fail("thistle", "-layer", "nope"); !strings.Contains(out, "unknown layer") {
+		t.Fatalf("thistle error output:\n%s", out)
+	}
+	if out := fail("thistle", "-layer", "resnet18_L2", "-criterion", "watts"); !strings.Contains(out, "unknown criterion") {
+		t.Fatalf("thistle criterion error:\n%s", out)
+	}
+	if out := fail("tlmapper"); !strings.Contains(out, "specify") {
+		t.Fatalf("tlmapper error:\n%s", out)
+	}
+	if out := fail("tlmodel"); !strings.Contains(out, "specify") {
+		t.Fatalf("tlmodel error:\n%s", out)
+	}
+	if out := fail("experiments", "-exp", "fig99"); !strings.Contains(out, "unknown experiment") {
+		t.Fatalf("experiments error:\n%s", out)
+	}
+}
+
+func extractBetween(t *testing.T, s, pre, post string) string {
+	t.Helper()
+	i := strings.Index(s, pre)
+	if i < 0 {
+		t.Fatalf("marker %q not found in:\n%s", pre, s)
+	}
+	rest := s[i+len(pre):]
+	j := strings.Index(rest, post)
+	if j < 0 {
+		t.Fatalf("marker %q not found in:\n%s", post, rest)
+	}
+	return rest[:j]
+}

@@ -1,0 +1,116 @@
+// Command tlmodel is the accelerator-model CLI (the reproduction's
+// Timeloop-model substitute): it evaluates a concrete mapping of a
+// problem on an architecture and prints the energy breakdown, delay, and
+// capacity checks. Inputs are Timeloop-style YAML specs; a single bundle
+// file containing problem, architecture, and mapping sections is also
+// accepted.
+//
+// Examples:
+//
+//	tlmodel -bundle design.yaml
+//	tlmodel -problem prob.yaml -arch arch.yaml -mapping map.yaml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/model"
+	"repro/internal/specs"
+	"repro/internal/yamlite"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tlmodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		bundle   = flag.String("bundle", "", "single YAML file with problem+architecture+mapping")
+		probFile = flag.String("problem", "", "problem spec file")
+		archFile = flag.String("arch", "", "architecture spec file")
+		mapFile  = flag.String("mapping", "", "mapping spec file")
+	)
+	flag.Parse()
+
+	var probNode, archNode, mapNode *yamlite.Node
+	if *bundle != "" {
+		root, err := parseFile(*bundle)
+		if err != nil {
+			return err
+		}
+		probNode, archNode, mapNode = root, root, root
+	} else {
+		if *probFile == "" || *archFile == "" || *mapFile == "" {
+			return fmt.Errorf("specify -bundle or all of -problem/-arch/-mapping")
+		}
+		var err error
+		if probNode, err = parseFile(*probFile); err != nil {
+			return err
+		}
+		if archNode, err = parseFile(*archFile); err != nil {
+			return err
+		}
+		if mapNode, err = parseFile(*mapFile); err != nil {
+			return err
+		}
+	}
+
+	prob, err := specs.ParseProblem(probNode)
+	if err != nil {
+		return fmt.Errorf("problem: %w", err)
+	}
+	a, err := specs.ParseArch(archNode, arch.Tech45nm())
+	if err != nil {
+		return fmt.Errorf("architecture: %w", err)
+	}
+	nest, err := dataflow.StandardNest(prob, dataflow.StandardOptions{})
+	if err != nil {
+		return err
+	}
+	m, err := specs.ParseMapping(mapNode, nest)
+	if err != nil {
+		return fmt.Errorf("mapping: %w", err)
+	}
+
+	ev := model.NewEvaluator(nest)
+	rep, err := ev.Evaluate(&a, m)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("problem:       %s (%d MACs)\n", prob.Name, rep.Ops)
+	fmt.Printf("architecture:  %s\n", a.String())
+	fmt.Printf("energy:        %.4g pJ (%.3f pJ/MAC)\n", rep.Energy, rep.EnergyPerMAC)
+	fmt.Printf("  compute      %.4g pJ\n", rep.Breakdown.Compute)
+	fmt.Printf("  regfile      %.4g pJ\n", rep.Breakdown.RegFile)
+	fmt.Printf("  sram         %.4g pJ\n", rep.Breakdown.SRAM)
+	fmt.Printf("  dram         %.4g pJ\n", rep.Breakdown.DRAM)
+	fmt.Printf("delay:         %.4g cycles (IPC %.2f)\n", rep.Cycles, rep.IPC)
+	fmt.Printf("PEs used:      %d (%.0f%% utilization)\n", rep.PEsUsed, 100*rep.Utilization)
+	fmt.Printf("traffic:       %.4g words S<->R, %.4g words D<->S\n", rep.TrafficSR, rep.TrafficDS)
+	fmt.Printf("footprints:    %.0f register words/PE, %.0f SRAM words\n", rep.RegFootprint, rep.SRAMFootprint)
+	if rep.Valid() {
+		fmt.Println("constraints:   ok")
+		return nil
+	}
+	fmt.Println("constraints:   VIOLATED")
+	for _, v := range rep.Violations {
+		fmt.Printf("  - %s\n", v)
+	}
+	os.Exit(2)
+	return nil
+}
+
+func parseFile(path string) (*yamlite.Node, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return yamlite.Parse(string(text))
+}

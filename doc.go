@@ -1,0 +1,22 @@
+// Package repro reproduces "Comprehensive Accelerator-Dataflow Co-design
+// Optimization for Convolutional Neural Networks" (CGO 2022) — the
+// Thistle optimizer — as a self-contained Go library.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// system inventory):
+//
+//   - expr, linalg, solver, gp: a from-scratch geometric-programming
+//     stack (the paper's CVXPY substitute);
+//   - loopnest, dataflow: the computation IR and the paper's Algorithm 1
+//     for symbolic data-footprint/data-volume construction with
+//     permutation-class pruning;
+//   - arch, model, mapper: technology models (Table III), the
+//     Timeloop-substitute analytical evaluator, and the randomized
+//     search baseline;
+//   - core: the Thistle flow (formulate → solve → integerize → validate);
+//   - workloads, specs, yamlite, experiments: Table II layers,
+//     Timeloop-style spec I/O, and the per-figure experiment runners.
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation; cmd/experiments runs them at full scale.
+package repro

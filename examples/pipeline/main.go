@@ -1,0 +1,97 @@
+// Single shared accelerator for a whole pipeline: it is impractical to
+// fabricate a different chip per CNN stage, so this example reproduces
+// the paper's Fig. 6 flow for Yolo-9000: (1) co-design an architecture
+// per layer, (2) take the architecture of the layer with the highest
+// total energy (the energy-dominant stage), and (3) re-optimize every
+// layer's dataflow for that one fixed architecture.
+//
+// Run with:
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func main() {
+	layers := workloads.Yolo9000()
+
+	// Phase 1: per-layer co-design under the Eyeriss-equal area budget.
+	fmt.Println("phase 1: layer-wise architecture-dataflow co-design")
+	perLayer := make([]*core.Result, len(layers))
+	domIdx, domEnergy := 0, 0.0
+	for i, layer := range layers {
+		p, err := layer.Problem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Optimize(p, core.Options{Criterion: model.MinEnergy, Mode: core.CoDesign})
+		if err != nil {
+			log.Fatalf("%s: %v", layer.Name(), err)
+		}
+		perLayer[i] = res
+		if res.Best.Report.Energy > domEnergy {
+			domIdx, domEnergy = i, res.Best.Report.Energy
+		}
+		fmt.Printf("  %-14s %7.2f pJ/MAC on %s\n",
+			layer.Name(), res.Best.Report.EnergyPerMAC, res.Best.Arch.String())
+	}
+
+	// Phase 2: the shared architecture is the one chosen for the
+	// energy-dominant stage.
+	shared := perLayer[domIdx].Best.Arch
+	shared.Name = "shared"
+	fmt.Printf("\nphase 2: energy-dominant stage is %s (%.4g pJ); shared architecture %s\n\n",
+		layers[domIdx].Name(), domEnergy, shared.String())
+
+	// Phase 3: dataflow-only re-optimization of every layer on the
+	// shared architecture.
+	fmt.Println("phase 3: dataflow optimization on the shared architecture")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tlayerwise pJ/MAC\tshared-arch pJ/MAC\tloss")
+	for i, layer := range layers {
+		p, err := layer.Problem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Optimize(p, core.Options{
+			Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &shared,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", layer.Name(), err)
+		}
+		lw := perLayer[i].Best.Report.EnergyPerMAC
+		sh := res.Best.Report.EnergyPerMAC
+		fmt.Fprintf(w, "%s\t%.2f\t%.2f\t%+.1f%%\n", layer.Name(), lw, sh, 100*(sh-lw)/lw)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Reference: what Eyeriss itself achieves on the same stages.
+	eyeriss := arch.Eyeriss()
+	var eyerissTotal float64
+	for _, layer := range layers {
+		p, err := layer.Problem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Optimize(p, core.Options{
+			Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &eyeriss,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		eyerissTotal += res.Best.Report.Energy
+	}
+	fmt.Printf("\nfor reference, the fixed Eyeriss design spends %.4g pJ on the pipeline\n", eyerissTotal)
+}

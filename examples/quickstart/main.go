@@ -1,0 +1,80 @@
+// Quickstart: optimize the dataflow of a matrix multiplication on the
+// Eyeriss architecture — the paper's Fig. 1 running example — and print
+// the resulting multi-level tiling.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+func main() {
+	// 1. Define the computation: C[i][j] += A[i][k]·B[k][j], 1024³.
+	prob := loopnest.MatMul(1024, 1024, 1024)
+	fmt.Printf("problem: %s (%d MACs)\n\n", prob.String(), prob.Ops())
+
+	// 2. Pick the target accelerator: the Eyeriss baseline (168 PEs,
+	// 512 registers/PE, 128 KB scratchpad).
+	eyeriss := arch.Eyeriss()
+	fmt.Printf("architecture: %s\n\n", eyeriss.String())
+
+	// 3. Run Thistle: enumerate pruned tile-loop permutation classes,
+	// solve one geometric program per class, integerize, validate with
+	// the accelerator model.
+	res, err := core.Optimize(prob, core.Options{
+		Criterion: model.MinEnergy,
+		Mode:      core.FixedArch,
+		Arch:      &eyeriss,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := res.Best
+
+	fmt.Printf("search: %d×%d permutation classes → %d geometric programs, %d integer candidates\n\n",
+		res.Stats.ClassesL1, res.Stats.ClassesSRAM, res.Stats.PairsSolved, res.Stats.Candidates)
+
+	// 4. Inspect the design point.
+	fmt.Printf("energy: %.3f pJ/MAC (relaxed GP bound %.3f)\n",
+		best.Report.EnergyPerMAC, best.GPObjective/float64(prob.Ops()))
+	fmt.Printf("delay:  %.4g cycles, IPC %.1f with %d PEs\n\n",
+		best.Report.Cycles, best.Report.IPC, best.Report.PEsUsed)
+
+	// 5. Print the tiling, level by level (inner to outer).
+	nest, err := core.NestFor(prob, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	levelNames := []string{"register tile", "register-tile loops (per PE)", "PE grid (spatial)", "SRAM tiles"}
+	for li, name := range levelNames {
+		fmt.Printf("%-30s", name)
+		for it, iter := range prob.Iters {
+			trip := int64(1)
+			if li < len(best.Mapping.Trips) && it < len(best.Mapping.Trips[li]) && best.Mapping.Trips[li][it] > 0 {
+				trip = best.Mapping.Trips[li][it]
+			}
+			fmt.Printf("  %s=%d", iter.Name, trip)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nloop orders (outer→inner): per-PE %v, SRAM %v\n",
+		permNames(prob, best.PermL1), permNames(prob, best.PermSRAM))
+	_ = nest
+}
+
+func permNames(p *loopnest.Problem, perm []int) []string {
+	out := make([]string, len(perm))
+	for i, it := range perm {
+		out[i] = p.Iters[it].Name
+	}
+	return out
+}

@@ -1,0 +1,64 @@
+// ResNet-18 layer-wise co-design: for every convolution stage of
+// ResNet-18 (the paper's Table II), co-optimize accelerator parameters
+// (PEs, registers per PE, SRAM capacity) and dataflow under the
+// Eyeriss-equal area budget, and compare the energy against the best
+// dataflow on the fixed Eyeriss architecture — the paper's Fig. 5 study
+// restricted to one pipeline.
+//
+// Run with:
+//
+//	go run ./examples/resnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+func main() {
+	eyeriss := arch.Eyeriss()
+	budget := arch.EyerissAreaBudget()
+	fmt.Printf("area budget (Eyeriss-equal): %.0f µm²\n\n", budget)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tMMACs\teyeriss pJ/MAC\tcodesign pJ/MAC\timprovement\tP\tR\tS(words)")
+
+	var totalEyeriss, totalCoDesign float64
+	for _, layer := range workloads.ResNet18() {
+		p, err := layer.Problem()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fixed, err := core.Optimize(p, core.Options{
+			Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &eyeriss,
+		})
+		if err != nil {
+			log.Fatalf("%s fixed: %v", layer.Name(), err)
+		}
+		cd, err := core.Optimize(p, core.Options{
+			Criterion: model.MinEnergy, Mode: core.CoDesign, AreaBudget: budget,
+		})
+		if err != nil {
+			log.Fatalf("%s codesign: %v", layer.Name(), err)
+		}
+		fe := fixed.Best.Report.EnergyPerMAC
+		ce := cd.Best.Report.EnergyPerMAC
+		totalEyeriss += fixed.Best.Report.Energy
+		totalCoDesign += cd.Best.Report.Energy
+		fmt.Fprintf(w, "%s\t%.1f\t%.2f\t%.2f\t%.2fx\t%d\t%d\t%d\n",
+			layer.Name(), float64(layer.MACs())/1e6, fe, ce, fe/ce,
+			cd.Best.Arch.PEs, cd.Best.Arch.Regs, cd.Best.Arch.SRAM)
+	}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npipeline total: %.4g pJ (Eyeriss) vs %.4g pJ (layer-wise co-design), %.2fx better\n",
+		totalEyeriss, totalCoDesign, totalEyeriss/totalCoDesign)
+}

@@ -1,0 +1,158 @@
+package codegen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+func matmulSetup(t *testing.T) (*dataflow.Nest, *model.Mapping) {
+	t.Helper()
+	p := loopnest.MatMul(64, 64, 64)
+	n, err := dataflow.StandardNest(p, dataflow.StandardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &model.Mapping{
+		// SRAM perm i,k,j (outer→inner), L1 perm i,j,k (paper Fig. 1).
+		Perms: dataflow.StandardPerms([]int{0, 1, 2}, []int{0, 2, 1}),
+		Trips: [][]int64{
+			{4, 4, 4},
+			{2, 2, 4},
+			{2, 2, 1},
+			{4, 4, 4},
+		},
+	}
+	return n, m
+}
+
+func TestGenerateMatmulStructure(t *testing.T) {
+	n, m := matmulSetup(t)
+	a := arch.Eyeriss()
+	code, err := Generate(n, m, &a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffers with the right sizes: SRAM tiles 16×16 = 256, reg tiles 16.
+	for _, want := range []string{
+		"buffer A_sbuf[256]", "buffer B_sbuf[256]", "buffer C_sbuf[256]",
+		"buffer A_reg[16]", "buffer C_reg[16]",
+	} {
+		if !strings.Contains(code, want) {
+			t.Fatalf("missing %q in:\n%s", want, code)
+		}
+	}
+	// Loop structure: 3 SRAM loops, 2 spatial (p_k = 1 dropped), 3 L1
+	// loops, 3 register loops.
+	if got := strings.Count(code, "forall"); got != 2 {
+		t.Fatalf("forall count = %d, want 2:\n%s", got, code)
+	}
+	if got := strings.Count(code, "for ("); got != 3+3+3 {
+		t.Fatalf("for count = %d, want 9:\n%s", got, code)
+	}
+	// Braces balance.
+	if strings.Count(code, "{") != strings.Count(code, "}") {
+		t.Fatalf("unbalanced braces:\n%s", code)
+	}
+	// MAC statement on register buffers.
+	if !strings.Contains(code, "C_reg[...] += A_reg[...] * B_reg[...];") {
+		t.Fatalf("missing MAC statement:\n%s", code)
+	}
+	// Write-backs for the read-write tensor at both boundaries.
+	if !strings.Contains(code, "copy_out(C_sbuf, C_reg") ||
+		!strings.Contains(code, "copy_out(C, C_sbuf") {
+		t.Fatalf("missing write-backs:\n%s", code)
+	}
+}
+
+// TestGenerateHoisting checks Algorithm 1's hoist points in the emitted
+// code: with the SRAM loop order ⟨i, k, j⟩, the copy of A (subscripts
+// i, k) hoists above the innermost j loop, i.e. A's copy_in appears
+// before the j loop opens (Fig. 1(d) of the paper).
+func TestGenerateHoisting(t *testing.T) {
+	n, m := matmulSetup(t)
+	code, err := Generate(n, m, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the SRAM section.
+	idx := strings.Index(code, "copies DRAM -> SRAM")
+	if idx < 0 {
+		t.Fatalf("missing SRAM section:\n%s", code)
+	}
+	sram := code[idx:]
+	aCopy := strings.Index(sram, "copy_in(A_sbuf")
+	jLoop := strings.Index(sram, "for (t_j")
+	kLoop := strings.Index(sram, "for (t_k")
+	if aCopy < 0 || jLoop < 0 || kLoop < 0 {
+		t.Fatalf("missing markers:\n%s", sram)
+	}
+	if !(kLoop < aCopy && aCopy < jLoop) {
+		t.Fatalf("A copy not hoisted between k and j loops (k=%d, A=%d, j=%d):\n%s",
+			kLoop, aCopy, jLoop, sram)
+	}
+	// B (subscripts k, j) is present in the innermost loop j: its copy
+	// sits inside the j loop.
+	bCopy := strings.Index(sram, "copy_in(B_sbuf")
+	if bCopy < jLoop {
+		t.Fatalf("B copy not inside the j loop:\n%s", sram)
+	}
+}
+
+func TestGenerateConvWithPinnedKernel(t *testing.T) {
+	p, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		Name: "c", N: 1, K: 8, C: 8, H: 8, W: 8, R: 3, S: 3,
+		StrideX: 1, StrideY: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := dataflow.StandardNest(p, dataflow.StandardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.UniformMapping(n)
+	a := arch.Eyeriss()
+	code, err := Generate(n, m, &a, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pinned 3×3 kernel loops live inside the register tile.
+	if !strings.Contains(code, "for (reg_r = 0; reg_r < 3") ||
+		!strings.Contains(code, "for (reg_s = 0; reg_s < 3") {
+		t.Fatalf("missing kernel loops:\n%s", code)
+	}
+	if !strings.Contains(code, "Out_reg[...] += In_reg[...] * Ker_reg[...];") {
+		t.Fatalf("missing conv MAC:\n%s", code)
+	}
+	if strings.Count(code, "{") != strings.Count(code, "}") {
+		t.Fatal("unbalanced braces")
+	}
+}
+
+func TestGenerateRejectsBadMapping(t *testing.T) {
+	n, m := matmulSetup(t)
+	bad := m.Clone()
+	bad.Trips[3][0] = 8 // product now wrong
+	if _, err := Generate(n, bad, nil, DefaultOptions()); err == nil {
+		t.Fatal("expected trips error")
+	}
+}
+
+func TestGenerateNoComments(t *testing.T) {
+	n, m := matmulSetup(t)
+	code, err := Generate(n, m, nil, Options{Indent: "\t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(code, "//") {
+		t.Fatalf("comments should be off:\n%s", code)
+	}
+	if !strings.Contains(code, "\tfor (") && !strings.Contains(code, "\t") {
+		t.Fatal("custom indent not applied")
+	}
+}

@@ -1,0 +1,44 @@
+package codegen_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/codegen"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// ExampleGenerate emits the tiled pseudocode of a small matmul mapping
+// (paper Fig. 1(d) style).
+func ExampleGenerate() {
+	prob := loopnest.MatMul(16, 16, 16)
+	nest, err := dataflow.StandardNest(prob, dataflow.StandardOptions{})
+	if err != nil {
+		panic(err)
+	}
+	m := &model.Mapping{
+		Perms: dataflow.StandardPerms([]int{0, 1, 2}, []int{0, 2, 1}),
+		Trips: [][]int64{
+			{2, 2, 4},
+			{2, 2, 2},
+			{2, 2, 1},
+			{2, 2, 2},
+		},
+	}
+	code, err := codegen.Generate(nest, m, nil, codegen.Options{Indent: "  "})
+	if err != nil {
+		panic(err)
+	}
+	// Print just the innermost statement and one copy line.
+	for _, line := range strings.Split(code, "\n") {
+		t := strings.TrimSpace(line)
+		if strings.HasPrefix(t, "C_reg[...]") || strings.HasPrefix(t, "copy_in(A_reg") {
+			fmt.Println(t)
+		}
+	}
+	// Output:
+	// copy_in(A_reg, A_sbuf, 8 words);
+	// C_reg[...] += A_reg[...] * B_reg[...];
+}

@@ -1,0 +1,449 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// ErrNoDesign is returned when no feasible design point was found.
+var ErrNoDesign = errors.New("core: no feasible design point")
+
+// Options configures an Optimize run. Zero values select defaults.
+type Options struct {
+	// Criterion is energy or delay minimization.
+	Criterion model.Criterion
+	// Mode selects fixed-architecture dataflow optimization or co-design.
+	Mode Mode
+	// Arch is the target architecture (FixedArch) or, in CoDesign mode,
+	// supplies the technology constants. Defaults to Eyeriss.
+	Arch *arch.Arch
+	// AreaBudget bounds the chip area in CoDesign mode. Defaults to the
+	// Eyeriss-equal area of the paper's evaluation.
+	AreaBudget float64
+	// NDiv is the paper's n: divisor candidates per tile variable
+	// (default 2).
+	NDiv int
+	// NPow2 is the paper's N: power-of-two candidates per capacity
+	// variable (default 2).
+	NPow2 int
+	// MinUtilization filters fixed-arch integer candidates (default 0,
+	// i.e. disabled; the paper mentions a threshold without a value).
+	MinUtilization float64
+	// MaxCandidates caps the integerization cross product (default 65536).
+	MaxCandidates int
+	// TopClasses is how many best GP class pairs are integerized
+	// (default 3).
+	TopClasses int
+	// Parallel is the GP-solving worker count (default NumCPU).
+	Parallel int
+	// Nest customizes the tiling structure. Nest.RS is ignored when
+	// RSPlacements is nil (the default), which tries both placements.
+	Nest dataflow.StandardOptions
+	// RSPlacements lists the placements of the untiled kernel loops to
+	// try, keeping the best feasible design. Nil tries both the register
+	// tile and the level-1 loops (layers with tiny register budgets are
+	// only feasible with the latter); problems without untiled kernel
+	// loops run once.
+	RSPlacements []dataflow.RSPlacement
+	// Solver tunes the interior-point method.
+	Solver solver.Options
+	// DisablePruning turns off hoist-prefix/symmetry class dedup and
+	// enumerates raw permutations (for the pruning ablation).
+	DisablePruning bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Arch == nil {
+		e := arch.Eyeriss()
+		o.Arch = &e
+	}
+	if o.AreaBudget == 0 {
+		o.AreaBudget = arch.EyerissAreaBudget()
+	}
+	if o.NDiv == 0 {
+		o.NDiv = 2
+		if o.Criterion != model.MinEnergy {
+			// Delay (and EDP) quality hinges on hitting the exact
+			// PE-maximizing divisor combinations, which a width-2 ladder
+			// around the relaxed solution can miss.
+			o.NDiv = 3
+		}
+	}
+	if o.NPow2 == 0 {
+		o.NPow2 = 2
+	}
+	if o.MaxCandidates == 0 {
+		// Evaluations are microseconds each; a generous cap lets the
+		// width-3 delay ladder cover its full cross product.
+		o.MaxCandidates = 1 << 20
+	}
+	if o.TopClasses == 0 {
+		o.TopClasses = 3
+	}
+	if o.Parallel == 0 {
+		o.Parallel = runtime.NumCPU()
+	}
+	if o.Solver.Tol == 0 {
+		// The integerization step only needs ~2 significant digits from
+		// the relaxation; a loose gap keeps thousands of solves fast.
+		o.Solver.Tol = 1e-6
+	}
+	return o
+}
+
+// DesignPoint is one complete optimized design.
+type DesignPoint struct {
+	Arch    arch.Arch
+	Mapping *model.Mapping
+	Report  *model.Report
+	// PermL1 and PermSRAM are the copy-level loop orders (outer-to-inner).
+	PermL1, PermSRAM []int
+	// NestOptions records the tiling structure the mapping was built for
+	// (notably the kernel-loop placement); required to re-evaluate or
+	// export the mapping.
+	NestOptions dataflow.StandardOptions
+	// GPObjective is the relaxed optimum of the geometric program the
+	// point was integerized from.
+	GPObjective float64
+}
+
+// Stats summarizes the search effort.
+type Stats struct {
+	ClassesL1, ClassesSRAM int
+	PairsSolved            int
+	Infeasible             int
+	Suboptimal             int
+	Candidates             int
+	NewtonIters            int
+}
+
+// Result is the outcome of an Optimize run.
+type Result struct {
+	Best  *DesignPoint
+	Stats Stats
+}
+
+// solvedPair records one GP solution.
+type solvedPair struct {
+	permL1, permSRAM []int
+	x                []float64
+	objective        float64
+}
+
+// Optimize runs the Thistle flow for one problem, trying each configured
+// placement of the untiled kernel loops and returning the best design.
+func Optimize(p *loopnest.Problem, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	placements := opts.RSPlacements
+	if placements == nil {
+		placements = []dataflow.RSPlacement{dataflow.RSAtRegister}
+		if hasUntiledKernelLoops(p) {
+			placements = append(placements, dataflow.RSAtLevel1)
+		}
+	}
+	var best *Result
+	var combined Stats
+	var firstErr error
+	for _, rs := range placements {
+		o := opts
+		o.Nest.RS = rs
+		res, err := optimizeOne(p, o)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		combined.PairsSolved += res.Stats.PairsSolved
+		combined.Candidates += res.Stats.Candidates
+		combined.NewtonIters += res.Stats.NewtonIters
+		combined.Infeasible += res.Stats.Infeasible
+		combined.Suboptimal += res.Stats.Suboptimal
+		if best == nil || model.Score(o.Criterion, res.Best.Report) < model.Score(o.Criterion, best.Best.Report) {
+			best = res
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	combined.ClassesL1 = best.Stats.ClassesL1
+	combined.ClassesSRAM = best.Stats.ClassesSRAM
+	best.Stats = combined
+	return best, nil
+}
+
+// hasUntiledKernelLoops reports whether the problem has kernel iterators
+// (named r/s) with extent > 1, i.e. whether the two RS placements differ.
+func hasUntiledKernelLoops(p *loopnest.Problem) bool {
+	for _, name := range []string{"r", "s"} {
+		if i := p.IterIndex(name); i >= 0 && p.Iters[i].Extent > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// optimizeOne runs the flow for one fixed nest configuration.
+func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
+	if err := opts.Arch.Validate(); err != nil {
+		return nil, err
+	}
+	nest, err := dataflow.StandardNest(p, opts.Nest)
+	if err != nil {
+		return nil, err
+	}
+
+	// Architecture variables (registered on the shared VarSet so they can
+	// appear in the same GP as the trip counts), and the delay variable.
+	av := &archVars{mode: opts.Mode, tech: opts.Arch.Tech, fixed: *opts.Arch, budget: opts.AreaBudget}
+	if opts.Mode == CoDesign {
+		av.varR = nest.Vars.NewVar("arch_R")
+		av.varS = nest.Vars.NewVar("arch_S")
+		av.varP = nest.Vars.NewVar("arch_P")
+	}
+	varT := nest.Vars.NewVar("delay_T")
+
+	// Permutation classes at both copy levels.
+	var syms []dataflow.Involution
+	if !opts.DisablePruning {
+		syms = dataflow.SymmetricInvolutions(p)
+	}
+	classesL1, err := enumerate(nest, dataflow.StandardLevelL1, syms, opts.DisablePruning)
+	if err != nil {
+		return nil, err
+	}
+	classesSRAM, err := enumerate(nest, dataflow.StandardLevelSRAM, syms, opts.DisablePruning)
+	if err != nil {
+		return nil, err
+	}
+
+	stats := Stats{ClassesL1: len(classesL1), ClassesSRAM: len(classesSRAM)}
+
+	// Solve one GP per class pair, in parallel. When every strict GP is
+	// infeasible (tiny capacities plus the posynomial overestimate), a
+	// second pass loosens the capacity bounds by the relaxation's
+	// worst-case slack (see buildGP).
+	type job struct{ l1, sram []int }
+	jobs := make([]job, 0, len(classesL1)*len(classesSRAM))
+	for _, c1 := range classesL1 {
+		for _, c3 := range classesSRAM {
+			jobs = append(jobs, job{c1.Perm, c3.Perm})
+		}
+	}
+	solvePass := func(capSlack bool) ([]solvedPair, error) {
+		var (
+			mu     sync.Mutex
+			solved []solvedPair
+			wg     sync.WaitGroup
+		)
+		next := make(chan job)
+		workers := opts.Parallel
+		if workers > len(jobs) {
+			workers = len(jobs)
+		}
+		var firstErr error
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for j := range next {
+					perms := dataflow.StandardPerms(j.l1, j.sram)
+					f, err := buildGP(nest, perms, av, opts.Criterion, varT, capSlack)
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						mu.Unlock()
+						continue
+					}
+					res, err := f.solve(opts.Solver)
+					mu.Lock()
+					stats.PairsSolved++
+					if err != nil {
+						if firstErr == nil {
+							firstErr = err
+						}
+					} else {
+						switch res.Status {
+						case solver.Infeasible:
+							stats.Infeasible++
+						case solver.Suboptimal:
+							stats.Suboptimal++
+							fallthrough
+						case solver.Optimal:
+							stats.NewtonIters += res.Newton
+							solved = append(solved, solvedPair{
+								permL1: j.l1, permSRAM: j.sram,
+								x: res.X, objective: res.Objective,
+							})
+						}
+					}
+					mu.Unlock()
+				}
+			}()
+		}
+		for _, j := range jobs {
+			next <- j
+		}
+		close(next)
+		wg.Wait()
+		return solved, firstErr
+	}
+	solved, firstErr := solvePass(false)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if len(solved) == 0 {
+		solved, firstErr = solvePass(true)
+		if firstErr != nil {
+			return nil, firstErr
+		}
+	}
+	if len(solved) == 0 {
+		return &Result{Stats: stats}, fmt.Errorf("%w: all %d permutation classes infeasible", ErrNoDesign, len(jobs))
+	}
+
+	// Integerize the best few class pairs and evaluate with the model.
+	sort.Slice(solved, func(i, j int) bool { return solved[i].objective < solved[j].objective })
+	top := opts.TopClasses
+	if top > len(solved) {
+		top = len(solved)
+	}
+	ev := model.NewEvaluator(nest)
+	iopt := intOptions{
+		nDiv:    opts.NDiv,
+		nPow2:   opts.NPow2,
+		minUtil: opts.MinUtilization,
+		maxCand: opts.MaxCandidates,
+	}
+	var best *DesignPoint
+	for _, sp := range solved[:top] {
+		perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
+		c, rep, visited := searchIntegerCandidates(ev, nest, perms, sp.x, av, iopt, opts.Criterion)
+		stats.Candidates += visited
+		if c == nil {
+			continue
+		}
+		if best == nil || model.Score(opts.Criterion, rep) < model.Score(opts.Criterion, best.Report) {
+			best = &DesignPoint{
+				Arch:        c.archCfg,
+				Mapping:     c.mapping,
+				Report:      rep,
+				PermL1:      sp.permL1,
+				PermSRAM:    sp.permSRAM,
+				NestOptions: opts.Nest,
+				GPObjective: sp.objective,
+			}
+		}
+	}
+	if best == nil {
+		// Fallback ladder: on tight architectures the divisor ladder
+		// around the relaxed solution can miss every exactly-feasible
+		// integer point. Shrink the solution geometrically toward the
+		// minimal (all-ones) tiling — x^λ stays ≥ 1 — and retry.
+		for _, lambda := range []float64{0.5, 0.25, 0} {
+			for _, sp := range solved[:top] {
+				shrunk := append([]float64(nil), sp.x...)
+				for i := range shrunk {
+					if shrunk[i] > 1 {
+						shrunk[i] = math.Pow(shrunk[i], lambda)
+					}
+				}
+				perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
+				c, rep, visited := searchIntegerCandidates(ev, nest, perms, shrunk, av, iopt, opts.Criterion)
+				stats.Candidates += visited
+				if c == nil {
+					continue
+				}
+				if best == nil || model.Score(opts.Criterion, rep) < model.Score(opts.Criterion, best.Report) {
+					best = &DesignPoint{
+						Arch:        c.archCfg,
+						Mapping:     c.mapping,
+						Report:      rep,
+						PermL1:      sp.permL1,
+						PermSRAM:    sp.permSRAM,
+						NestOptions: opts.Nest,
+						GPObjective: sp.objective,
+					}
+				}
+			}
+			if best != nil {
+				break
+			}
+		}
+	}
+	if best == nil {
+		return &Result{Stats: stats}, fmt.Errorf("%w: no integer candidate satisfied the constraints", ErrNoDesign)
+	}
+	return &Result{Best: best, Stats: stats}, nil
+}
+
+// enumerate returns permutation classes, or every raw permutation when
+// pruning is disabled (ablation mode).
+func enumerate(nest *dataflow.Nest, level int, syms []dataflow.Involution, raw bool) ([]dataflow.PermClass, error) {
+	if !raw {
+		return nest.EnumerateClasses(level, syms)
+	}
+	// Raw mode: every permutation of the active set becomes its own
+	// "class".
+	lvl := nest.Levels[level]
+	var out []dataflow.PermClass
+	permuteAll(append([]int(nil), lvl.Active...), func(p []int) {
+		out = append(out, dataflow.PermClass{Perm: append([]int(nil), p...), Size: 1})
+	})
+	return out, nil
+}
+
+func permuteAll(s []int, fn func([]int)) {
+	var rec func(k int)
+	rec = func(k int) {
+		if k == 1 {
+			fn(s)
+			return
+		}
+		for i := 0; i < k; i++ {
+			rec(k - 1)
+			if k%2 == 0 {
+				s[i], s[k-1] = s[k-1], s[i]
+			} else {
+				s[0], s[k-1] = s[k-1], s[0]
+			}
+		}
+	}
+	if len(s) == 0 {
+		fn(s)
+		return
+	}
+	rec(len(s))
+}
+
+// EvaluateOn re-evaluates a design point's mapping on a different
+// architecture (used by the single-architecture-for-all-layers
+// experiments, where a layer's mapping must be re-optimized for a fixed
+// architecture chosen from another layer). The nest is rebuilt from the
+// design point's recorded options.
+func EvaluateOn(p *loopnest.Problem, a *arch.Arch, dp *DesignPoint) (*model.Report, error) {
+	nest, err := dataflow.StandardNest(p, dp.NestOptions)
+	if err != nil {
+		return nil, err
+	}
+	ev := model.NewEvaluator(nest)
+	return ev.Evaluate(a, dp.Mapping)
+}
+
+// NestFor rebuilds the nest a design point's mapping refers to (for spec
+// export or inspection).
+func NestFor(p *loopnest.Problem, dp *DesignPoint) (*dataflow.Nest, error) {
+	return dataflow.StandardNest(p, dp.NestOptions)
+}

@@ -1,0 +1,32 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// ExampleOptimize runs the full Thistle flow on a small matrix
+// multiplication for a fixed tiny architecture.
+func ExampleOptimize() {
+	prob := loopnest.MatMul(64, 64, 64)
+	a := arch.Arch{Name: "tiny", PEs: 16, Regs: 64, SRAM: 4096, Tech: arch.Tech45nm()}
+	res, err := core.Optimize(prob, core.Options{
+		Criterion: model.MinEnergy,
+		Mode:      core.FixedArch,
+		Arch:      &a,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("valid:", res.Best.Report.Valid())
+	fmt.Println("PEs used <= 16:", res.Best.Report.PEsUsed <= 16)
+	fmt.Println("register footprint <= 64:", res.Best.Report.RegFootprint <= 64)
+	// Output:
+	// valid: true
+	// PEs used <= 16: true
+	// register footprint <= 64: true
+}

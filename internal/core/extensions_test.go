@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// TestOptimizeEDP exercises the energy-delay-product objective (the
+// paper mentions EDP is expressible in the framework but does not
+// evaluate it): the EDP-optimal design must have EDP no worse than
+// either single-objective design.
+func TestOptimizeEDP(t *testing.T) {
+	p := testLayer(t, "resnet18_L6")
+	a := arch.Eyeriss()
+	edp := func(r *model.Report) float64 { return r.Energy * r.Cycles }
+
+	rE, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rD, err := Optimize(p, Options{Criterion: model.MinDelay, Mode: FixedArch, Arch: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rEDP, err := Optimize(p, Options{Criterion: model.MinEDP, Mode: FixedArch, Arch: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rEDP.Best.Report.Valid() {
+		t.Fatalf("violations: %v", rEDP.Best.Report.Violations)
+	}
+	got := edp(rEDP.Best.Report)
+	// Allow a small integerization slack.
+	if got > 1.05*edp(rE.Best.Report) && got > 1.05*edp(rD.Best.Report) {
+		t.Fatalf("EDP design (%.4g) worse than both energy (%.4g) and delay (%.4g) designs",
+			got, edp(rE.Best.Report), edp(rD.Best.Report))
+	}
+	if model.MinEDP.String() != "edp" {
+		t.Fatal("criterion string")
+	}
+	if model.Score(model.MinEDP, rEDP.Best.Report) != got {
+		t.Fatal("Score(MinEDP) wrong")
+	}
+}
+
+// TestOptimizeEDPCoDesign: EDP co-design must stay within the area
+// budget and find an intermediate point (neither the tiny-register
+// energy design nor necessarily the max-PE delay design).
+func TestOptimizeEDPCoDesign(t *testing.T) {
+	p := testLayer(t, "resnet18_L9")
+	res, err := Optimize(p, Options{Criterion: model.MinEDP, Mode: CoDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Arch.Area() > arch.EyerissAreaBudget()*1.0001 {
+		t.Fatalf("area over budget: %v", res.Best.Arch.Area())
+	}
+	if !res.Best.Report.Valid() {
+		t.Fatalf("violations: %v", res.Best.Report.Violations)
+	}
+}
+
+// TestNoCEnergyExtension: enabling the inter-PE network model must
+// increase evaluated energy (extra component) and steer the optimizer
+// toward designs with less multicast traffic per PE.
+func TestNoCEnergyExtension(t *testing.T) {
+	p := testLayer(t, "resnet18_L6")
+	base := arch.Eyeriss()
+	noc := arch.Eyeriss()
+	noc.Tech.EnergyNoCHop = 0.1 // pJ per word-hop
+
+	rb, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &noc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Best.Report.Breakdown.NoC <= 0 {
+		t.Fatal("NoC component missing from breakdown")
+	}
+	if rb.Best.Report.Breakdown.NoC != 0 {
+		t.Fatal("NoC component should be zero when disabled")
+	}
+	if rn.Best.Report.Energy <= rb.Best.Report.Energy {
+		t.Fatalf("NoC-modeled energy %.4g not above baseline %.4g",
+			rn.Best.Report.Energy, rb.Best.Report.Energy)
+	}
+	// The breakdown must still sum.
+	if got := rn.Best.Report.Breakdown.Total(); got != rn.Best.Report.Energy {
+		t.Fatalf("breakdown total %v != energy %v", got, rn.Best.Report.Energy)
+	}
+}
+
+// TestOptimizeDilatedConv: a dilated convolution (the paper's "handled
+// similarly" remark) flows through Algorithm 1, the GP, and the model.
+func TestOptimizeDilatedConv(t *testing.T) {
+	p, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		Name: "dilated", N: 1, K: 32, C: 32, H: 28, W: 28, R: 3, S: 3,
+		StrideX: 1, StrideY: 1, DilationX: 2, DilationY: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The input subscript is h + 2r: full input extent 28 + 2·2 = 32.
+	if got := p.TensorSize(0); got != 32*32*32 {
+		t.Fatalf("dilated In size = %d, want %d", got, 32*32*32)
+	}
+	a := arch.Eyeriss()
+	res, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.Report.Valid() {
+		t.Fatalf("violations: %v", res.Best.Report.Violations)
+	}
+	if res.Best.Report.EnergyPerMAC < 15 || res.Best.Report.EnergyPerMAC > 40 {
+		t.Fatalf("dilated pJ/MAC = %v out of sane range", res.Best.Report.EnergyPerMAC)
+	}
+}
+
+func TestConv2DRejectsBadDilation(t *testing.T) {
+	_, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		N: 1, K: 1, C: 1, H: 4, W: 4, R: 3, S: 3,
+		StrideX: 1, StrideY: 1, DilationX: -1, DilationY: 1,
+	})
+	if err == nil {
+		t.Fatal("expected dilation error")
+	}
+}

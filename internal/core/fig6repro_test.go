@@ -1,0 +1,29 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// TestOptimizeStemOnTinyRegisterArch reproduces the Fig. 6 failure mode:
+// the 7×7 stride-2 ResNet stem must be mappable onto an architecture
+// with a 4-word register file (the energy-dominant layer's co-designed
+// architecture), which requires the level-1 kernel-loop placement and a
+// relaxation-slackened GP capacity bound.
+func TestOptimizeStemOnTinyRegisterArch(t *testing.T) {
+	tiny := arch.Arch{Name: "domarch", PEs: 896, Regs: 4, SRAM: 8192, Tech: arch.Tech45nm()}
+	p := testLayer(t, "resnet18_L1")
+	res, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &tiny})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Best.Report
+	if !rep.Valid() {
+		t.Fatalf("violations: %v", rep.Violations)
+	}
+	if rep.RegFootprint > 4 {
+		t.Fatalf("register footprint %v > 4", rep.RegFootprint)
+	}
+}

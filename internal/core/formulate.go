@@ -1,0 +1,342 @@
+// Package core implements the Thistle optimizer of the paper: for a
+// loop-nest problem it enumerates pruned tile-loop permutation classes,
+// generates one constrained geometric program per class combination
+// (dataflow-only for a fixed architecture, or architecture-dataflow
+// co-design under an area budget), solves them with the interior-point
+// backend, converts the real solutions to integer mappings via
+// divisor-ladder candidate generation, evaluates the candidates with the
+// Timeloop-substitute model, and returns the best design point.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/gp"
+	"repro/internal/model"
+	"repro/internal/solver"
+)
+
+// Mode selects between dataflow-only optimization on a fixed architecture
+// and full architecture-dataflow co-design.
+type Mode int
+
+const (
+	// FixedArch optimizes the dataflow for a given architecture (the
+	// paper's Figs. 4 and 7 setting).
+	FixedArch Mode = iota
+	// CoDesign additionally optimizes P, R, and S under an area budget
+	// (Figs. 5, 6, and 8).
+	CoDesign
+)
+
+func (m Mode) String() string {
+	if m == CoDesign {
+		return "codesign"
+	}
+	return "fixedarch"
+}
+
+// archVars holds the symbolic or constant architecture parameters of one
+// formulation.
+type archVars struct {
+	mode Mode
+	tech arch.Tech
+	// Fixed-architecture constants (FixedArch mode).
+	fixed arch.Arch
+	// Co-design variables.
+	varR, varS, varP expr.VarID
+	budget           float64
+}
+
+// regCapacity returns the register-capacity bound as a monomial (constant
+// or the R variable).
+func (av *archVars) regCapacity() expr.Monomial {
+	if av.mode == CoDesign {
+		return expr.MonoPow(1, av.varR, 1)
+	}
+	return expr.Const(float64(av.fixed.Regs))
+}
+
+func (av *archVars) sramCapacity() expr.Monomial {
+	if av.mode == CoDesign {
+		return expr.MonoPow(1, av.varS, 1)
+	}
+	return expr.Const(float64(av.fixed.SRAM))
+}
+
+func (av *archVars) peCapacity() expr.Monomial {
+	if av.mode == CoDesign {
+		return expr.MonoPow(1, av.varP, 1)
+	}
+	return expr.Const(float64(av.fixed.PEs))
+}
+
+// regEnergy returns ε_R as a monomial: σ_R·R (Eq. 4), constant when the
+// architecture is fixed.
+func (av *archVars) regEnergy() expr.Monomial {
+	if av.mode == CoDesign {
+		return expr.MonoPow(av.tech.SigmaR, av.varR, 1)
+	}
+	return expr.Const(av.fixed.RegEnergy())
+}
+
+// sramEnergy returns ε_S as a monomial: σ_S·√S (Eq. 4).
+func (av *archVars) sramEnergy() expr.Monomial {
+	if av.mode == CoDesign {
+		return expr.MonoPow(av.tech.SigmaS, av.varS, 0.5)
+	}
+	return expr.Const(av.fixed.SRAMEnergy())
+}
+
+// formulation is one geometric program for one permutation-class pair.
+type formulation struct {
+	nest *dataflow.Nest
+	vols *dataflow.Volumes
+	prog *gp.Program
+	av   *archVars
+	varT expr.VarID // delay variable (MinDelay only)
+}
+
+// buildGP constructs the constrained geometric program for one choice of
+// copy-level permutations (the paper's Eq. 3 / Eq. 5 generalized to CNNs
+// via the Algorithm-1 expressions). varT is the delay variable, used only
+// for the MinDelay criterion.
+func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criterion, varT expr.VarID, capSlack bool) (*formulation, error) {
+	vols, err := nest.ComputeVolumes(perms)
+	if err != nil {
+		return nil, err
+	}
+	if len(vols.Boundaries) != 2 {
+		return nil, fmt.Errorf("core: nest must have exactly 2 memory boundaries, got %d", len(vols.Boundaries))
+	}
+	prog := gp.New(nest.Vars)
+	f := &formulation{nest: nest, vols: vols, prog: prog, av: av, varT: varT}
+
+	// Constant-fold pinned trips before relaxing: stride-1 kernel extents
+	// become exact posynomials (see Volumes.Folded).
+	folded := vols.Folded()
+	trafficSR := folded.SumTraffic(0, true)
+	trafficDS := folded.SumTraffic(1, true)
+	regFoot := folded.SumFootprint(0, true)
+	sramFoot := folded.SumFootprint(1, true)
+	ops := float64(nest.Prob.Ops())
+
+	// Total energy per Eq. 3:
+	//   (4ε_R + ε_op)·N_ops + (ε_R + ε_S)·DVol^{S↔R} + (ε_S + ε_D)·DVol^{D↔S}
+	// plus the optional NoC term (see Tech.EnergyNoCHop).
+	energy := expr.PolyConst(av.tech.EnergyMAC * ops)
+	energy = energy.AddMono(av.regEnergy().Mul(expr.Const(4 * ops)))
+	energy = energy.Add(trafficSR.MulMono(av.regEnergy()))
+	energy = energy.Add(trafficSR.MulMono(av.sramEnergy()))
+	energy = energy.Add(trafficDS.MulMono(av.sramEnergy()))
+	energy = energy.Add(trafficDS.Scale(av.tech.EnergyDRAM))
+	if av.tech.EnergyNoCHop > 0 {
+		// Mesh traversal: each SRAM↔register word travels ≈ √P hops.
+		hop := expr.Const(av.tech.EnergyNoCHop)
+		for _, pv := range nest.SpatialTripVars() {
+			hop = hop.Mul(expr.MonoPow(1, pv, 0.5))
+		}
+		energy = energy.Add(trafficSR.MulMono(hop))
+	}
+
+	// Delay components ≤ T (Section V.B), used by the delay and EDP
+	// objectives.
+	addDelay := func() error {
+		tMono := expr.MonoPow(1, varT, 1)
+		peInv := expr.Const(ops)
+		for _, pv := range nest.SpatialTripVars() {
+			peInv = peInv.Mul(expr.MonoPow(1, pv, -1))
+		}
+		if err := prog.AddLessEq("delay:compute", expr.PolyFrom(peInv), tMono); err != nil {
+			return err
+		}
+		regPort := peInv.Mul(expr.Const(4 / av.tech.BWReg))
+		if err := prog.AddLessEq("delay:regfile", expr.PolyFrom(regPort), tMono); err != nil {
+			return err
+		}
+		sramTraffic := trafficSR.Add(trafficDS)
+		if err := prog.AddLessEq("delay:sram", sramTraffic, tMono.Mul(expr.Const(av.tech.BWSRAM))); err != nil {
+			return err
+		}
+		return prog.AddLessEq("delay:dram", trafficDS, tMono.Mul(expr.Const(av.tech.BWDRAM)))
+	}
+
+	// Objective.
+	switch crit {
+	case model.MinEnergy:
+		if err := prog.SetObjective(energy); err != nil {
+			return nil, err
+		}
+	case model.MinDelay:
+		// minimize T subject to each component delay ≤ T.
+		if err := prog.SetObjective(expr.PolyFrom(expr.MonoPow(1, varT, 1))); err != nil {
+			return nil, err
+		}
+		if err := addDelay(); err != nil {
+			return nil, err
+		}
+	case model.MinEDP:
+		// minimize energy·T — a posynomial times a monomial is still a
+		// posynomial, so the energy-delay product stays DGP-valid.
+		if err := prog.SetObjective(energy.MulMono(expr.MonoPow(1, varT, 1))); err != nil {
+			return nil, err
+		}
+		if err := addDelay(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown criterion %v", crit)
+	}
+
+	// Capacity constraints. The posynomial relaxation over-approximates
+	// convolution footprints (it drops the negative extent constants), so
+	// a strict relaxed bound can render the GP infeasible even when
+	// minimal integer tilings fit — e.g. stride-2 layers on tiny register
+	// files. With capSlack (used as a second pass when every strict GP is
+	// infeasible), the capacities are scaled by the worst-case relative
+	// overestimate, which occurs at the all-ones point; exact footprints
+	// are re-enforced during integerization either way.
+	slackR, slackS := 1.0, 1.0
+	if capSlack {
+		ones := onesAssignment(nest)
+		slackR = relaxSlack(vols, 0, regFoot, ones)
+		slackS = relaxSlack(vols, 1, sramFoot, ones)
+	}
+	if err := prog.AddLessEq("cap:registers", regFoot,
+		av.regCapacity().Mul(expr.Const(slackR))); err != nil {
+		return nil, err
+	}
+	if err := prog.AddLessEq("cap:sram", sramFoot,
+		av.sramCapacity().Mul(expr.Const(slackS))); err != nil {
+		return nil, err
+	}
+	peProd := expr.Const(1)
+	for _, pv := range nest.SpatialTripVars() {
+		peProd = peProd.Mul(expr.MonoPow(1, pv, 1))
+	}
+	if err := prog.AddLessEq("cap:pes", expr.PolyFrom(peProd), av.peCapacity()); err != nil {
+		return nil, err
+	}
+
+	// Co-design: the Eq. 5 area constraint and positivity of the
+	// architecture variables.
+	if av.mode == CoDesign {
+		area := expr.PolyFrom(
+			expr.Monomial{Coeff: av.tech.AreaRegister, Terms: []expr.Term{{Var: av.varR, Exp: 1}, {Var: av.varP, Exp: 1}}},
+			expr.MonoPow(av.tech.AreaMAC, av.varP, 1),
+			expr.MonoPow(av.tech.AreaSRAMWord, av.varS, 1),
+		)
+		if err := prog.AddLessEq("area", area, expr.Const(av.budget)); err != nil {
+			return nil, err
+		}
+		for _, v := range []expr.VarID{av.varR, av.varS, av.varP} {
+			if err := prog.AddLowerBound("arch>=1", v, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Loop-extent equalities: the trip counts of each iterator multiply
+	// to its full extent.
+	for _, eq := range nest.DimEqualities() {
+		lhs := expr.Const(1)
+		for _, v := range eq.Vars {
+			lhs = lhs.Mul(expr.MonoPow(1, v, 1))
+		}
+		name := fmt.Sprintf("extent:%s", nest.Prob.Iters[eq.Iter].Name)
+		if err := prog.AddMonoEq(name, lhs, expr.Const(float64(eq.Extent))); err != nil {
+			return nil, err
+		}
+	}
+	// Pinned trips (untiled loops, placeholders). Pinned variables are
+	// handled purely by equalities — adding an x ≥ 1 barrier constraint
+	// for a variable pinned to exactly 1 would leave the feasible set
+	// with an empty strict interior, defeating the barrier method.
+	pinned := map[expr.VarID]bool{}
+	for _, pin := range nest.Pins {
+		pinned[pin.Var] = true
+		if err := prog.AddMonoEq("pin", expr.MonoPow(1, pin.Var, 1), expr.Const(pin.Value)); err != nil {
+			return nil, err
+		}
+	}
+	// Free trip counts are at least 1.
+	for it := range nest.Prob.Iters {
+		for _, v := range nest.DimTripVars(it) {
+			if pinned[v] {
+				continue
+			}
+			if err := prog.AddLowerBound("trip>=1", v, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return f, nil
+}
+
+// onesAssignment builds the minimal-tiling point: every free trip 1,
+// pinned trips at their values.
+func onesAssignment(nest *dataflow.Nest) []float64 {
+	x := make([]float64, nest.Vars.Len())
+	for i := range x {
+		x[i] = 1
+	}
+	for _, pin := range nest.Pins {
+		x[pin.Var] = pin.Value
+	}
+	return x
+}
+
+// relaxSlack returns relaxed/exact footprint at the minimal-tiling point
+// for boundary b (≥ 1), the worst-case relative overestimate of the
+// posynomial relaxation.
+func relaxSlack(vols *dataflow.Volumes, b int, relaxed expr.Poly, ones []float64) float64 {
+	exact := vols.EvalFootprint(b, ones)
+	if exact <= 0 {
+		return 1
+	}
+	r := relaxed.Eval(ones) / exact
+	if r < 1 {
+		return 1
+	}
+	return r
+}
+
+// hint builds an initial guess: extents spread evenly across levels,
+// Eyeriss-like architecture values, and a generous delay.
+func (f *formulation) hint() []float64 {
+	x := make([]float64, f.nest.Vars.Len())
+	for i := range x {
+		x[i] = 1
+	}
+	for it, iter := range f.nest.Prob.Iters {
+		vars := f.nest.DimTripVars(it)
+		if len(vars) == 0 {
+			continue
+		}
+		per := math.Pow(float64(iter.Extent), 1/float64(len(vars)))
+		for _, v := range vars {
+			x[v] = per
+		}
+	}
+	for _, pin := range f.nest.Pins {
+		x[pin.Var] = pin.Value
+	}
+	if f.av.mode == CoDesign {
+		x[f.av.varR] = 64
+		x[f.av.varS] = 16384
+		x[f.av.varP] = 128
+	}
+	if int(f.varT) < len(x) && f.varT >= 0 {
+		x[f.varT] = float64(f.nest.Prob.Ops())
+	}
+	return x
+}
+
+// solve runs the GP and returns the solver result.
+func (f *formulation) solve(opts solver.Options) (gp.Result, error) {
+	return f.prog.Solve(f.hint(), opts)
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/mapper"
+	"repro/internal/model"
+)
+
+// intOptions tunes the real-to-integer conversion (Section IV of the
+// paper: N closest powers of two for memory capacities, n closest
+// divisors per tile-size variable level by level, cross product, filter,
+// evaluate with the model).
+type intOptions struct {
+	nDiv    int     // divisor candidates per variable (paper's n, 2–3)
+	nPow2   int     // power-of-two candidates per capacity
+	minUtil float64 // minimum PE utilization for fixed-arch candidates
+	maxCand int     // cap on the candidate cross product
+}
+
+// dimCandidate is one integer tiling of a single iterator: SRAM tile S,
+// per-PE tile Q, register tile R (S = N/t·..., with R | Q | S | N).
+type dimCandidate struct {
+	iter    int
+	regTile int64 // R
+	peTile  int64 // Q
+	sramT   int64 // S
+}
+
+// nClosest returns the k values from sorted candidates closest to target
+// in log space (ratio distance), deduplicated.
+func nClosest(cands []int64, target float64, k int) []int64 {
+	if len(cands) == 0 {
+		return nil
+	}
+	if target < 1 {
+		target = 1
+	}
+	type scored struct {
+		v int64
+		d float64
+	}
+	s := make([]scored, len(cands))
+	for i, c := range cands {
+		s[i] = scored{c, math.Abs(math.Log(float64(c)) - math.Log(target))}
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].d != s[j].d {
+			return s[i].d < s[j].d
+		}
+		return s[i].v < s[j].v
+	})
+	if k > len(s) {
+		k = len(s)
+	}
+	out := make([]int64, 0, k)
+	for _, c := range s[:k] {
+		out = append(out, c.v)
+	}
+	return out
+}
+
+// pow2Candidates returns the n powers of two nearest to target (at least
+// 1, ascending).
+func pow2Candidates(target float64, n int) []int64 {
+	if target < 1 {
+		target = 1
+	}
+	exp := math.Log2(target)
+	lo := int(math.Floor(exp))
+	var out []int64
+	for i := 0; i < n; i++ {
+		// Alternate around the floor: lo, lo+1, lo−1, lo+2, ...
+		var e int
+		switch {
+		case i == 0:
+			e = lo
+		case i%2 == 1:
+			e = lo + (i+1)/2
+		default:
+			e = lo - i/2
+		}
+		if e < 0 {
+			continue
+		}
+		out = append(out, int64(1)<<uint(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// dimCandidates generates up to n³ integer tilings for one free iterator
+// following the paper's divisor ladder: SRAM tile candidates from the
+// divisors of the extent, per-PE tile candidates from the divisors of
+// each SRAM candidate, register tile candidates from the divisors of each
+// per-PE candidate.
+func dimCandidates(n *dataflow.Nest, it int, x []float64, opt intOptions) []dimCandidate {
+	extent := n.Prob.Iters[it].Extent
+	lv := make([]float64, 0, 4)
+	for _, v := range n.DimTripVars(it) {
+		lv = append(lv, x[v])
+	}
+	if len(lv) != 4 {
+		return nil // pinned or unit iterator: no free tiling
+	}
+	realReg := lv[0]
+	realPE := lv[0] * lv[1]
+	realSRAM := lv[0] * lv[1] * lv[2]
+	var out []dimCandidate
+	for _, s := range nClosest(mapper.Divisors(extent), realSRAM, opt.nDiv) {
+		for _, q := range nClosest(mapper.Divisors(s), realPE, opt.nDiv) {
+			for _, r := range nClosest(mapper.Divisors(q), realReg, opt.nDiv) {
+				out = append(out, dimCandidate{iter: it, regTile: r, peTile: q, sramT: s})
+			}
+		}
+	}
+	// Deduplicate.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.sramT != b.sramT {
+			return a.sramT < b.sramT
+		}
+		if a.peTile != b.peTile {
+			return a.peTile < b.peTile
+		}
+		return a.regTile < b.regTile
+	})
+	ded := out[:0]
+	for i, c := range out {
+		if i == 0 || c != out[i-1] {
+			ded = append(ded, c)
+		}
+	}
+	return ded
+}
+
+// candidate is one fully integer design point before model evaluation.
+type candidate struct {
+	archCfg arch.Arch
+	mapping *model.Mapping
+}
+
+// searchIntegerCandidates streams the integer candidate space — the
+// cross product of per-dimension divisor-ladder tilings and (in
+// co-design mode) power-of-two capacities — directly through model
+// evaluation, keeping only the best valid design. Streaming avoids
+// materializing the cross product (which reaches millions of mappings at
+// ladder width 3), and the visit counter caps runaway spaces without
+// biasing which region gets cut: the cap applies to evaluations, and the
+// ladder orders each dimension's choices by proximity to the relaxed
+// solution, so the nearest region is covered first.
+func searchIntegerCandidates(ev *model.Evaluator, n *dataflow.Nest, perms [][]int, x []float64, av *archVars, opt intOptions, crit model.Criterion) (best *candidate, bestRep *model.Report, visited int) {
+	var freeIters []int
+	for it := range n.Prob.Iters {
+		if len(n.DimTripVars(it)) == 4 {
+			freeIters = append(freeIters, it)
+		}
+	}
+	perDim := make([][]dimCandidate, len(freeIters))
+	for i, it := range freeIters {
+		perDim[i] = dimCandidates(n, it, x, opt)
+		if len(perDim[i]) == 0 {
+			return nil, nil, 0
+		}
+	}
+	var archs []arch.Arch
+	if av.mode == CoDesign {
+		for _, r := range pow2Candidates(x[av.varR], opt.nPow2) {
+			for _, s := range pow2Candidates(x[av.varS], opt.nPow2) {
+				archs = append(archs, arch.Arch{
+					Name: "codesign", Regs: r, SRAM: s, PEs: 1, Tech: av.tech,
+				})
+			}
+		}
+	} else {
+		archs = []arch.Arch{av.fixed}
+	}
+
+	consider := func(c *candidate, minUtil float64) {
+		rep, err := ev.Evaluate(&c.archCfg, c.mapping)
+		if err != nil || !rep.Valid() {
+			return
+		}
+		if av.mode == FixedArch && rep.Utilization < minUtil {
+			return
+		}
+		if bestRep == nil || model.Score(crit, rep) < model.Score(crit, bestRep) {
+			cc := *c
+			cc.mapping = c.mapping.Clone()
+			best, bestRep = &cc, rep
+		}
+	}
+
+	run := func(minUtil float64) {
+		dims := make([]dimCandidate, 0, len(perDim))
+		var rec func(i int)
+		rec = func(i int) {
+			if visited >= opt.maxCand {
+				return
+			}
+			if i == len(perDim) {
+				m := buildMapping(n, perms, dims)
+				for _, a := range archs {
+					ac := a
+					if av.mode == CoDesign {
+						pes := int64(1)
+						for _, d := range dims {
+							pes *= d.sramT / d.peTile
+						}
+						ac.PEs = pes
+						if ac.Area() > av.budget {
+							continue
+						}
+					}
+					visited++
+					consider(&candidate{archCfg: ac, mapping: m}, minUtil)
+				}
+				return
+			}
+			for _, c := range perDim[i] {
+				dims = append(dims, c)
+				rec(i + 1)
+				dims = dims[:len(dims)-1]
+			}
+		}
+		rec(0)
+	}
+	run(opt.minUtil)
+	if best == nil && opt.minUtil > 0 {
+		visited = 0
+		run(0)
+	}
+	return best, bestRep, visited
+}
+
+// buildMapping converts per-iterator tiling choices into a Mapping over
+// the standard nest, starting from the pinned base.
+func buildMapping(n *dataflow.Nest, perms [][]int, dims []dimCandidate) *model.Mapping {
+	m := model.UniformMapping(n)
+	m.Perms = make([][]int, len(perms))
+	for i, p := range perms {
+		if p != nil {
+			m.Perms[i] = append([]int(nil), p...)
+		}
+	}
+	for _, d := range dims {
+		extent := n.Prob.Iters[d.iter].Extent
+		m.Trips[dataflow.StandardLevelReg][d.iter] = d.regTile
+		m.Trips[dataflow.StandardLevelL1][d.iter] = d.peTile / d.regTile
+		m.Trips[dataflow.StandardLevelSpatial][d.iter] = d.sramT / d.peTile
+		m.Trips[dataflow.StandardLevelSRAM][d.iter] = extent / d.sramT
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// TestSmokeFixedArchEnergy is the first end-to-end exercise of the full
+// Thistle flow: optimize a ResNet-18-like layer's dataflow on the Eyeriss
+// architecture for energy. The paper's Fig. 4 band is 20–30 pJ/MAC.
+func TestSmokeFixedArchEnergy(t *testing.T) {
+	p, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		Name: "resnet_l6", N: 1, K: 128, C: 128, H: 28, W: 28, R: 3, S: 3,
+		StrideX: 1, StrideY: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	res, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %+v", res.Stats)
+	t.Logf("best: arch=%s pJ/MAC=%.2f IPC=%.1f perms L1=%v SRAM=%v",
+		res.Best.Arch.String(), res.Best.Report.EnergyPerMAC, res.Best.Report.IPC,
+		res.Best.PermL1, res.Best.PermSRAM)
+	t.Logf("breakdown: %+v", res.Best.Report.Breakdown)
+	if !res.Best.Report.Valid() {
+		t.Fatalf("violations: %v", res.Best.Report.Violations)
+	}
+	if res.Best.Report.EnergyPerMAC < 20 || res.Best.Report.EnergyPerMAC > 32 {
+		t.Fatalf("pJ/MAC = %v, expected in the paper's 20–30 band", res.Best.Report.EnergyPerMAC)
+	}
+}
+
+// TestSmokeCoDesignEnergy: co-design at Eyeriss-equal area should reach
+// the ~5 pJ/MAC regime the paper reports in Fig. 5.
+func TestSmokeCoDesignEnergy(t *testing.T) {
+	p, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		Name: "resnet_l6", N: 1, K: 128, C: 128, H: 28, W: 28, R: 3, S: 3,
+		StrideX: 1, StrideY: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Optimize(p, Options{Criterion: model.MinEnergy, Mode: CoDesign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("stats: %+v", res.Stats)
+	t.Logf("best: arch=%s pJ/MAC=%.2f", res.Best.Arch.String(), res.Best.Report.EnergyPerMAC)
+	if res.Best.Arch.Area() > arch.EyerissAreaBudget() {
+		t.Fatalf("area %v exceeds budget %v", res.Best.Arch.Area(), arch.EyerissAreaBudget())
+	}
+	if res.Best.Report.EnergyPerMAC > 10 {
+		t.Fatalf("co-design pJ/MAC = %v, expected < 10 per Fig. 5", res.Best.Report.EnergyPerMAC)
+	}
+}

@@ -1,0 +1,217 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/solver"
+)
+
+// buildSimple returns a GP: minimize x + y subject to x·y ≥ 4
+// (4/(x·y) ≤ 1). Optimum x = y = 2, objective 4.
+func buildSimple(t *testing.T) (*Program, expr.VarID, expr.VarID) {
+	t.Helper()
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	y := vs.NewVar("y")
+	p := New(vs)
+	if err := p.SetObjective(expr.PolyFrom(expr.Mono(1, x), expr.Mono(1, y))); err != nil {
+		t.Fatal(err)
+	}
+	lhs := expr.PolyFrom(expr.Monomial{Coeff: 4, Terms: []expr.Term{{Var: x, Exp: -1}, {Var: y, Exp: -1}}})
+	if err := p.AddLessEq("xy>=4", lhs, expr.Const(1)); err != nil {
+		t.Fatal(err)
+	}
+	return p, x, y
+}
+
+func TestSolveSimpleGP(t *testing.T) {
+	p, x, y := buildSimple(t)
+	res, err := p.Solve(nil, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-4) > 1e-4 {
+		t.Fatalf("objective = %v, want 4", res.Objective)
+	}
+	if math.Abs(res.X[x]-2) > 1e-3 || math.Abs(res.X[y]-2) > 1e-3 {
+		t.Fatalf("X = %v, want [2 2]", res.X)
+	}
+	if bad := p.CheckFeasible(res.X, 1e-6); len(bad) != 0 {
+		t.Fatalf("violations: %v", bad)
+	}
+}
+
+func TestSolveWithMonomialEquality(t *testing.T) {
+	// minimize x + 2y s.t. x·y = 8 → x = 2y ⇒ 2y² = 8 ⇒ y = 2, x = 4.
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	y := vs.NewVar("y")
+	p := New(vs)
+	if err := p.SetObjective(expr.PolyFrom(expr.Mono(1, x), expr.Mono(2, y))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddMonoEq("xy=8", expr.Mono(1, x, y), expr.Const(8)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(nil, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[x]-4) > 1e-3 || math.Abs(res.X[y]-2) > 1e-3 {
+		t.Fatalf("X = %v, want [4 2]", res.X)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// minimize 1/x with x ≤ 10 → x = 10.
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	p := New(vs)
+	if err := p.SetObjective(expr.PolyFrom(expr.MonoPow(1, x, -1))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddUpperBound("x<=10", x, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLowerBound("x>=1", x, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve([]float64{2}, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[x]-10) > 1e-2 {
+		t.Fatalf("x = %v, want 10", res.X[x])
+	}
+}
+
+func TestRejectsSignomials(t *testing.T) {
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	p := New(vs)
+	bad := expr.PolyFrom(expr.Mono(1, x), expr.Const(-1))
+	if err := p.SetObjective(bad); err == nil {
+		t.Fatal("expected error for signomial objective")
+	}
+	if err := p.AddLessEq("bad", bad, expr.Const(1)); err == nil {
+		t.Fatal("expected error for signomial constraint")
+	}
+	if err := p.AddLessEq("badrhs", expr.PolyFrom(expr.Mono(1, x)), expr.Const(-2)); err == nil {
+		t.Fatal("expected error for non-positive bound")
+	}
+	if err := p.AddMonoEq("badeq", expr.Const(-1), expr.Const(1)); err == nil {
+		t.Fatal("expected error for negative equality")
+	}
+	if err := p.AddLowerBound("badlb", x, 0); err == nil {
+		t.Fatal("expected error for non-positive lower bound")
+	}
+	if err := p.SetObjective(nil); err == nil {
+		t.Fatal("expected error for empty objective")
+	}
+}
+
+func TestVacuousAndNames(t *testing.T) {
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	p := New(vs)
+	if err := p.AddLessEq("vacuous", nil, expr.Const(1)); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ineq) != 0 {
+		t.Fatal("vacuous constraint should be dropped")
+	}
+	_ = p.AddUpperBound("ub", x, 5)
+	names := p.ConstraintNames()
+	if len(names) != 1 || names[0] != "ub" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestInfeasibleGP(t *testing.T) {
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	p := New(vs)
+	if err := p.SetObjective(expr.PolyFrom(expr.Mono(1, x))); err != nil {
+		t.Fatal(err)
+	}
+	_ = p.AddUpperBound("x<=1", x, 1)
+	_ = p.AddLowerBound("x>=2", x, 2)
+	res, err := p.Solve(nil, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestCheckFeasibleReportsViolations(t *testing.T) {
+	p, x, y := buildSimple(t)
+	bad := p.CheckFeasible(map2slice(x, 1, y, 1), 1e-9) // x·y = 1 < 4 violates
+	if len(bad) != 1 || bad[0] != "xy>=4" {
+		t.Fatalf("violations = %v", bad)
+	}
+}
+
+func map2slice(x expr.VarID, xv float64, y expr.VarID, yv float64) []float64 {
+	out := make([]float64, 2)
+	out[x] = xv
+	out[y] = yv
+	return out
+}
+
+// A GP mirroring the paper's matmul dataflow shape: minimize total
+// "volume" N²·(1/a + 1/b) s.t. a·b ≤ C — optimum at a = b = √C.
+func TestSolveMatmulLikeGP(t *testing.T) {
+	const C = 256.0
+	vs := &expr.VarSet{}
+	a := vs.NewVar("a")
+	b := vs.NewVar("b")
+	p := New(vs)
+	obj := expr.PolyFrom(expr.MonoPow(1e6, a, -1), expr.MonoPow(1e6, b, -1))
+	if err := p.SetObjective(obj); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddLessEq("cap", expr.PolyFrom(expr.Mono(1, a, b)), expr.Const(C)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(nil, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != solver.Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.X[a]-16) > 0.05 || math.Abs(res.X[b]-16) > 0.05 {
+		t.Fatalf("X = %v, want [16 16]", res.X)
+	}
+}
+
+// Fractional exponents (the co-design √S term) must round-trip.
+func TestFractionalExponent(t *testing.T) {
+	// minimize s^0.5 + 100/s → d/ds: 0.5 s^-0.5 − 100 s^-2 = 0 ⇒
+	// s^1.5 = 200 ⇒ s = 200^(2/3).
+	vs := &expr.VarSet{}
+	s := vs.NewVar("s")
+	p := New(vs)
+	obj := expr.PolyFrom(expr.MonoPow(1, s, 0.5), expr.MonoPow(100, s, -1))
+	if err := p.SetObjective(obj); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Solve(nil, solver.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(200, 2.0/3.0)
+	if math.Abs(res.X[s]-want) > 1e-2*want {
+		t.Fatalf("s = %v, want %v", res.X[s], want)
+	}
+}

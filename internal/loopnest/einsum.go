@@ -1,0 +1,231 @@
+package loopnest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseEinsum builds a Problem from an einsum-like statement plus
+// iterator extents, e.g.
+//
+//	ParseEinsum("C[i,j] += A[i,k] * B[k,j]", map[string]int64{"i": 64, "j": 64, "k": 64})
+//	ParseEinsum("Out[n,k,h,w] += In[n,c,2h+r,2w+s] * Ker[k,c,r,s]", exts)
+//
+// Grammar (whitespace-insensitive):
+//
+//	stmt      := ref "+=" ref { "*" ref }
+//	ref       := name "[" subscript { "," subscript } "]"
+//	subscript := term { "+" term }
+//	term      := [ integer [ "*" ] ] iterator
+//
+// The left-hand tensor is marked read-write. Every iterator named in any
+// subscript must appear in extents. Iterator names are single identifiers
+// ([a-zA-Z][a-zA-Z0-9_]*).
+func ParseEinsum(stmt string, extents map[string]int64) (*Problem, error) {
+	lhs, rhs, ok := strings.Cut(stmt, "+=")
+	if !ok {
+		return nil, fmt.Errorf("%w: einsum %q missing '+='", ErrBadProblem, stmt)
+	}
+	p := &Problem{Name: einsumName(stmt)}
+	iterIdx := map[string]int{}
+	intern := func(name string) (int, error) {
+		if i, ok := iterIdx[name]; ok {
+			return i, nil
+		}
+		ext, ok := extents[name]
+		if !ok {
+			return 0, fmt.Errorf("%w: no extent for iterator %q", ErrBadProblem, name)
+		}
+		iterIdx[name] = len(p.Iters)
+		p.Iters = append(p.Iters, Iter{Name: name, Extent: ext})
+		return iterIdx[name], nil
+	}
+
+	out, err := parseRef(lhs, intern)
+	if err != nil {
+		return nil, err
+	}
+	out.ReadWrite = true
+
+	// Split the right-hand side on '*' at bracket depth zero only, so
+	// strided subscripts like In[n,c,2*h+r,...] stay intact.
+	var merged []string
+	depth, start := 0, 0
+	for i := 0; i <= len(rhs); i++ {
+		if i == len(rhs) || (rhs[i] == '*' && depth == 0) {
+			frag := strings.TrimSpace(rhs[start:i])
+			if frag == "" {
+				return nil, fmt.Errorf("%w: empty factor in %q", ErrBadProblem, rhs)
+			}
+			merged = append(merged, frag)
+			start = i + 1
+			continue
+		}
+		switch rhs[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		}
+	}
+	p.Tensors = append(p.Tensors, out)
+	for _, src := range merged {
+		tns, err := parseRef(src, intern)
+		if err != nil {
+			return nil, err
+		}
+		p.Tensors = append(p.Tensors, tns)
+	}
+	// The canonical builders list the read-write tensor last; match that.
+	rw := p.Tensors[0]
+	p.Tensors = append(p.Tensors[1:], rw)
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseRef parses "Name[sub,sub,...]".
+func parseRef(src string, intern func(string) (int, error)) (Tensor, error) {
+	src = strings.TrimSpace(src)
+	open := strings.IndexByte(src, '[')
+	if open < 0 || !strings.HasSuffix(src, "]") {
+		return Tensor{}, fmt.Errorf("%w: bad tensor reference %q", ErrBadProblem, src)
+	}
+	name := strings.TrimSpace(src[:open])
+	if name == "" || !isIdent(name) {
+		return Tensor{}, fmt.Errorf("%w: bad tensor name %q", ErrBadProblem, name)
+	}
+	t := Tensor{Name: name}
+	body := src[open+1 : len(src)-1]
+	for _, sub := range strings.Split(body, ",") {
+		ie, err := parseSubscript(sub, intern)
+		if err != nil {
+			return Tensor{}, fmt.Errorf("%s: %w", name, err)
+		}
+		t.Dims = append(t.Dims, ie)
+	}
+	return t, nil
+}
+
+// parseSubscript parses "2*h+r", "2h + r", "k".
+func parseSubscript(src string, intern func(string) (int, error)) (IndexExpr, error) {
+	var e IndexExpr
+	for _, term := range strings.Split(src, "+") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			return e, fmt.Errorf("%w: empty term in subscript %q", ErrBadProblem, src)
+		}
+		stride := int64(1)
+		name := term
+		// Leading integer coefficient, with optional '*'.
+		i := 0
+		for i < len(term) && term[i] >= '0' && term[i] <= '9' {
+			i++
+		}
+		if i > 0 {
+			v, err := strconv.ParseInt(term[:i], 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("%w: bad stride in %q", ErrBadProblem, term)
+			}
+			stride = v
+			name = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(term[i:]), "*"))
+		}
+		if !isIdent(name) {
+			return e, fmt.Errorf("%w: bad iterator %q in subscript %q", ErrBadProblem, name, src)
+		}
+		it, err := intern(name)
+		if err != nil {
+			return e, err
+		}
+		e.Terms = append(e.Terms, IndexTerm{Iter: it, Stride: stride})
+	}
+	return e, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		if i == 0 && !unicode.IsLetter(r) {
+			return false
+		}
+		if i > 0 && !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+			return false
+		}
+	}
+	return true
+}
+
+func einsumName(stmt string) string {
+	s := strings.Map(func(r rune) rune {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			return r
+		default:
+			return '_'
+		}
+	}, stmt)
+	for strings.Contains(s, "__") {
+		s = strings.ReplaceAll(s, "__", "_")
+	}
+	return strings.Trim(s, "_")
+}
+
+// DepthwiseConv2D builds a depthwise convolution: each input channel is
+// convolved with its own kernel (no cross-channel reduction):
+//
+//	Out[n][c][h][w] += In[n][c][x·h+r][y·w+s] · Ker[c][r][s]
+func DepthwiseConv2D(cfg Conv2DConfig) (*Problem, error) {
+	if cfg.K != 0 && cfg.K != cfg.C {
+		return nil, fmt.Errorf("%w: depthwise convolution has K = C", ErrBadProblem)
+	}
+	if cfg.StrideX < 1 || cfg.StrideY < 1 {
+		return nil, fmt.Errorf("%w: strides must be ≥ 1", ErrBadProblem)
+	}
+	if cfg.DilationX == 0 {
+		cfg.DilationX = 1
+	}
+	if cfg.DilationY == 0 {
+		cfg.DilationY = 1
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("dwconv_C%d_HW%d_RS%d", cfg.C, cfg.H, cfg.R)
+	}
+	const (
+		n = 0
+		c = 1
+		r = 2
+		s = 3
+		h = 4
+		w = 5
+	)
+	p := &Problem{
+		Name: name,
+		Iters: []Iter{
+			{Name: "n", Extent: cfg.N},
+			{Name: "c", Extent: cfg.C},
+			{Name: "r", Extent: cfg.R},
+			{Name: "s", Extent: cfg.S},
+			{Name: "h", Extent: cfg.H},
+			{Name: "w", Extent: cfg.W},
+		},
+		Tensors: []Tensor{
+			{Name: "In", Dims: []IndexExpr{
+				Idx(n), Idx(c),
+				IdxStrided([2]int64{h, cfg.StrideX}, [2]int64{r, cfg.DilationX}),
+				IdxStrided([2]int64{w, cfg.StrideY}, [2]int64{s, cfg.DilationY}),
+			}},
+			{Name: "Ker", Dims: []IndexExpr{Idx(c), Idx(r), Idx(s)}},
+			{Name: "Out", ReadWrite: true, Dims: []IndexExpr{Idx(n), Idx(c), Idx(h), Idx(w)}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,120 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseEinsumMatmul(t *testing.T) {
+	p, err := ParseEinsum("C[i,j] += A[i,k] * B[k,j]",
+		map[string]int64{"i": 64, "j": 32, "k": 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := MatMul(64, 32, 16)
+	// Same iteration space and tensor structure (names differ only in
+	// problem name).
+	if p.Ops() != ref.Ops() {
+		t.Fatalf("Ops = %d, want %d", p.Ops(), ref.Ops())
+	}
+	if len(p.Tensors) != 3 || !p.Tensors[2].ReadWrite || p.Tensors[2].Name != "C" {
+		t.Fatalf("tensors = %+v", p.Tensors)
+	}
+	if p.Tensors[0].Name != "A" || p.Tensors[1].Name != "B" {
+		t.Fatalf("input order = %s, %s", p.Tensors[0].Name, p.Tensors[1].Name)
+	}
+}
+
+func TestParseEinsumConvStrided(t *testing.T) {
+	exts := map[string]int64{"n": 1, "k": 64, "c": 3, "r": 7, "s": 7, "h": 112, "w": 112}
+	for _, stmt := range []string{
+		"Out[n,k,h,w] += In[n,c,2*h+r,2*w+s] * Ker[k,c,r,s]",
+		"Out[n,k,h,w] += In[n, c, 2h + r, 2w + s] * Ker[k,c,r,s]",
+	} {
+		p, err := ParseEinsum(stmt, exts)
+		if err != nil {
+			t.Fatalf("%q: %v", stmt, err)
+		}
+		ref, err := Conv2D(Conv2DConfig{
+			N: 1, K: 64, C: 3, H: 112, W: 112, R: 7, S: 7, StrideX: 2, StrideY: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Ops() != ref.Ops() {
+			t.Fatalf("%q: Ops = %d, want %d", stmt, p.Ops(), ref.Ops())
+		}
+		// The In tensor must have the strided subscripts.
+		var in Tensor
+		for _, ts := range p.Tensors {
+			if ts.Name == "In" {
+				in = ts
+			}
+		}
+		if got := in.Dims[2].Terms[0].Stride; got != 2 {
+			t.Fatalf("%q: stride = %d", stmt, got)
+		}
+	}
+}
+
+func TestParseEinsumErrors(t *testing.T) {
+	exts := map[string]int64{"i": 4, "j": 4, "k": 4}
+	bad := []string{
+		"C[i,j] = A[i,k] * B[k,j]",     // no +=
+		"C[i,j] += A[i,z] * B[k,j]",    // unknown iterator
+		"C[i,j] += ",                   // empty rhs
+		"C[i,j += A[i,k]",              // unbalanced ref
+		"[i,j] += A[i,k]",              // missing name
+		"C[i,j] += A[i,] * B[k,j]",     // empty subscript
+		"C[i,j] += A[2x*i,k] * B[k,j]", // bad term
+		"9C[i,j] += A[i,k] * B[k,j]",   // bad name
+		"C[i,j] += A[i,k] * * B[k,j]",  // empty factor
+	}
+	for _, stmt := range bad {
+		if _, err := ParseEinsum(stmt, exts); err == nil {
+			t.Fatalf("ParseEinsum(%q) should fail", stmt)
+		}
+	}
+}
+
+func TestDepthwiseConv2D(t *testing.T) {
+	p, err := DepthwiseConv2D(Conv2DConfig{
+		Name: "dw", N: 1, C: 32, H: 14, W: 14, R: 3, S: 3, StrideX: 1, StrideY: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() != 32*14*14*9 {
+		t.Fatalf("Ops = %d", p.Ops())
+	}
+	// Ker has no cross-channel dimension.
+	if got := len(p.Tensors[1].Dims); got != 3 {
+		t.Fatalf("Ker dims = %d, want 3", got)
+	}
+	// Every tensor uses c: no iterator is reduction-only across channels.
+	for _, ts := range p.Tensors {
+		if !ts.Uses(1) {
+			t.Fatalf("tensor %s does not use c", ts.Name)
+		}
+	}
+	if _, err := DepthwiseConv2D(Conv2DConfig{K: 8, C: 16, N: 1, H: 4, W: 4, R: 3, S: 3, StrideX: 1, StrideY: 1}); err == nil {
+		t.Fatal("K != C should fail")
+	}
+	if _, err := DepthwiseConv2D(Conv2DConfig{C: 16, N: 1, H: 4, W: 4, R: 3, S: 3, StrideX: 0, StrideY: 1}); err == nil {
+		t.Fatal("bad stride should fail")
+	}
+}
+
+func TestParseEinsumMatchesBuilderVolumes(t *testing.T) {
+	// The parsed problem and the canonical builder must produce the same
+	// printable structure modulo tensor ordering.
+	exts := map[string]int64{"n": 1, "k": 16, "c": 8, "r": 3, "s": 3, "h": 8, "w": 8}
+	p, err := ParseEinsum("Out[n,k,h,w] += In[n,c,h+r,w+s] * Ker[k,c,r,s]", exts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "In[n,c,h+r,w+s]") ||
+		!strings.Contains(p.String(), "Out(rw)[n,k,h,w]") {
+		t.Fatalf("parsed structure = %s", p.String())
+	}
+}

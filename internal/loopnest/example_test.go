@@ -1,0 +1,29 @@
+package loopnest_test
+
+import (
+	"fmt"
+
+	"repro/internal/loopnest"
+)
+
+func ExampleMatMul() {
+	p := loopnest.MatMul(4, 8, 16)
+	fmt.Println(p.String())
+	fmt.Println("MACs:", p.Ops())
+	// Output:
+	// matmul_4x8x16: i=4 j=8 k=16 A[i,k] B[k,j] C(rw)[i,j]
+	// MACs: 512
+}
+
+func ExampleConv2D() {
+	p, err := loopnest.Conv2D(loopnest.Conv2DConfig{
+		Name: "stem", N: 1, K: 64, C: 3, H: 112, W: 112, R: 7, S: 7,
+		StrideX: 2, StrideY: 2,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.String())
+	// Output:
+	// stem: n=1 k=64 c=3 r=7 s=7 h=112 w=112 In[n,c,2*h+r,2*w+s] Ker[k,c,r,s] Out(rw)[n,k,h,w]
+}

@@ -1,0 +1,292 @@
+// Package loopnest defines the computation IR of the Thistle
+// reproduction: a perfectly nested loop computation over dense tensors
+// with quasi-affine index expressions of the form Σ strideⱼ·iterⱼ, which
+// covers matrix multiplication (Fig. 1 of the paper) and the 7-deep CNN
+// loop nest of Listing 1 (including strided convolution).
+package loopnest
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrBadProblem reports an invalid problem definition.
+var ErrBadProblem = errors.New("loopnest: invalid problem")
+
+// Iter is one iteration-space dimension.
+type Iter struct {
+	Name   string
+	Extent int64 // trip count of the full loop; must be ≥ 1
+}
+
+// IndexTerm is one strideⱼ·iterⱼ contribution to a tensor subscript.
+type IndexTerm struct {
+	Iter   int // index into Problem.Iters
+	Stride int64
+}
+
+// IndexExpr is one tensor subscript: a sum of strided iterators, e.g.
+// x·h + r for the convolution input.
+type IndexExpr struct {
+	Terms []IndexTerm
+}
+
+// Idx builds a single-iterator, stride-1 subscript.
+func Idx(iter int) IndexExpr {
+	return IndexExpr{Terms: []IndexTerm{{Iter: iter, Stride: 1}}}
+}
+
+// IdxStrided builds the subscript Σ strideᵢ·iterᵢ from alternating
+// (iter, stride) pairs.
+func IdxStrided(pairs ...[2]int64) IndexExpr {
+	e := IndexExpr{}
+	for _, p := range pairs {
+		e.Terms = append(e.Terms, IndexTerm{Iter: int(p[0]), Stride: p[1]})
+	}
+	return e
+}
+
+// Uses reports whether the subscript references iterator it.
+func (e IndexExpr) Uses(it int) bool {
+	for _, t := range e.Terms {
+		if t.Iter == it {
+			return true
+		}
+	}
+	return false
+}
+
+// Tensor is one array in the computation together with its subscripts.
+type Tensor struct {
+	Name string
+	// ReadWrite marks in-out tensors (the convolution output), which are
+	// both read and written at each level of the hierarchy; their data
+	// volumes are doubled relative to read-only tensors.
+	ReadWrite bool
+	Dims      []IndexExpr
+}
+
+// Uses reports whether any subscript of the tensor references iterator it.
+func (t Tensor) Uses(it int) bool {
+	for _, d := range t.Dims {
+		if d.Uses(it) {
+			return true
+		}
+	}
+	return false
+}
+
+// Problem is a perfectly nested dense loop computation. One arithmetic
+// operation (a MAC) executes per iteration-space point.
+type Problem struct {
+	Name    string
+	Iters   []Iter
+	Tensors []Tensor
+}
+
+// Validate checks internal consistency: positive extents, in-range
+// iterator references, positive strides.
+func (p *Problem) Validate() error {
+	if len(p.Iters) == 0 {
+		return fmt.Errorf("%w: no iterators", ErrBadProblem)
+	}
+	for _, it := range p.Iters {
+		if it.Extent < 1 {
+			return fmt.Errorf("%w: iterator %s has extent %d", ErrBadProblem, it.Name, it.Extent)
+		}
+	}
+	if len(p.Tensors) == 0 {
+		return fmt.Errorf("%w: no tensors", ErrBadProblem)
+	}
+	for _, t := range p.Tensors {
+		for di, d := range t.Dims {
+			if len(d.Terms) == 0 {
+				return fmt.Errorf("%w: tensor %s dim %d has no terms", ErrBadProblem, t.Name, di)
+			}
+			for _, term := range d.Terms {
+				if term.Iter < 0 || term.Iter >= len(p.Iters) {
+					return fmt.Errorf("%w: tensor %s dim %d references iterator %d", ErrBadProblem, t.Name, di, term.Iter)
+				}
+				if term.Stride < 1 {
+					return fmt.Errorf("%w: tensor %s dim %d has stride %d", ErrBadProblem, t.Name, di, term.Stride)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Ops returns the total number of iteration-space points (MAC count).
+func (p *Problem) Ops() int64 {
+	n := int64(1)
+	for _, it := range p.Iters {
+		n *= it.Extent
+	}
+	return n
+}
+
+// IterIndex returns the index of the iterator with the given name, or -1.
+func (p *Problem) IterIndex(name string) int {
+	for i, it := range p.Iters {
+		if it.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TensorSize returns the number of elements of tensor ti for the full
+// problem extents (each subscript ranges over its full extent).
+func (p *Problem) TensorSize(ti int) int64 {
+	size := int64(1)
+	for _, d := range p.Tensors[ti].Dims {
+		ext := int64(1)
+		for _, term := range d.Terms {
+			ext += term.Stride * (p.Iters[term.Iter].Extent - 1)
+		}
+		size *= ext
+	}
+	return size
+}
+
+// String renders a compact description of the problem.
+func (p *Problem) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", p.Name)
+	for _, it := range p.Iters {
+		fmt.Fprintf(&b, " %s=%d", it.Name, it.Extent)
+	}
+	for _, t := range p.Tensors {
+		b.WriteString(" ")
+		b.WriteString(t.Name)
+		if t.ReadWrite {
+			b.WriteString("(rw)")
+		}
+		b.WriteString("[")
+		for di, d := range t.Dims {
+			if di > 0 {
+				b.WriteString(",")
+			}
+			for ti, term := range d.Terms {
+				if ti > 0 {
+					b.WriteString("+")
+				}
+				if term.Stride != 1 {
+					fmt.Fprintf(&b, "%d*", term.Stride)
+				}
+				b.WriteString(p.Iters[term.Iter].Name)
+			}
+		}
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+// MatMul builds the matrix-multiplication problem C[i][j] += A[i][k]·B[k][j]
+// with extents Ni, Nj, Nk (Fig. 1(a) of the paper). Iterator order is
+// i, j, k.
+func MatMul(ni, nj, nk int64) *Problem {
+	const (
+		i = 0
+		j = 1
+		k = 2
+	)
+	return &Problem{
+		Name: fmt.Sprintf("matmul_%dx%dx%d", ni, nj, nk),
+		Iters: []Iter{
+			{Name: "i", Extent: ni},
+			{Name: "j", Extent: nj},
+			{Name: "k", Extent: nk},
+		},
+		Tensors: []Tensor{
+			{Name: "A", Dims: []IndexExpr{Idx(i), Idx(k)}},
+			{Name: "B", Dims: []IndexExpr{Idx(k), Idx(j)}},
+			{Name: "C", ReadWrite: true, Dims: []IndexExpr{Idx(i), Idx(j)}},
+		},
+	}
+}
+
+// Conv2DConfig describes one convolution layer in the conventions of the
+// paper's Table II: K output channels, C input channels, output feature
+// map H×W, kernel R×S, batch N, and strides (x along H, y along W).
+type Conv2DConfig struct {
+	Name    string
+	N       int64 // batch
+	K       int64 // output channels
+	C       int64 // input channels
+	H, W    int64 // OUTPUT feature-map height/width
+	R, S    int64 // kernel height/width
+	StrideX int64 // stride along H (paper's x)
+	StrideY int64 // stride along W (paper's y)
+	// DilationX and DilationY space the kernel taps (the paper notes
+	// dilation "can be handled similarly"; the quasi-affine subscripts
+	// support it directly). Zero means 1 (dense kernel).
+	DilationX int64
+	DilationY int64
+}
+
+// Conv2DIters enumerates the canonical iterator order of Listing 1:
+// n, k, c, r, s, h, w.
+const (
+	ConvN = iota
+	ConvK
+	ConvC
+	ConvR
+	ConvS
+	ConvH
+	ConvW
+	ConvIters // count
+)
+
+// Conv2D builds the 7-deep CNN loop nest of Listing 1:
+//
+//	Out[n][k][h][w] += In[n][c][x·h+r][y·w+s] · Ker[k][c][r][s]
+func Conv2D(cfg Conv2DConfig) (*Problem, error) {
+	if cfg.StrideX < 1 || cfg.StrideY < 1 {
+		return nil, fmt.Errorf("%w: strides must be ≥ 1", ErrBadProblem)
+	}
+	if cfg.DilationX == 0 {
+		cfg.DilationX = 1
+	}
+	if cfg.DilationY == 0 {
+		cfg.DilationY = 1
+	}
+	if cfg.DilationX < 1 || cfg.DilationY < 1 {
+		return nil, fmt.Errorf("%w: dilations must be ≥ 1", ErrBadProblem)
+	}
+	name := cfg.Name
+	if name == "" {
+		name = fmt.Sprintf("conv_K%d_C%d_HW%d_RS%d", cfg.K, cfg.C, cfg.H, cfg.R)
+	}
+	p := &Problem{
+		Name: name,
+		Iters: []Iter{
+			{Name: "n", Extent: cfg.N},
+			{Name: "k", Extent: cfg.K},
+			{Name: "c", Extent: cfg.C},
+			{Name: "r", Extent: cfg.R},
+			{Name: "s", Extent: cfg.S},
+			{Name: "h", Extent: cfg.H},
+			{Name: "w", Extent: cfg.W},
+		},
+		Tensors: []Tensor{
+			{Name: "In", Dims: []IndexExpr{
+				Idx(ConvN),
+				Idx(ConvC),
+				IdxStrided([2]int64{ConvH, cfg.StrideX}, [2]int64{ConvR, cfg.DilationX}),
+				IdxStrided([2]int64{ConvW, cfg.StrideY}, [2]int64{ConvS, cfg.DilationY}),
+			}},
+			{Name: "Ker", Dims: []IndexExpr{
+				Idx(ConvK), Idx(ConvC), Idx(ConvR), Idx(ConvS),
+			}},
+			{Name: "Out", ReadWrite: true, Dims: []IndexExpr{
+				Idx(ConvN), Idx(ConvK), Idx(ConvH), Idx(ConvW),
+			}},
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,116 @@
+package loopnest
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMatMulStructure(t *testing.T) {
+	p := MatMul(64, 32, 16)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() != 64*32*16 {
+		t.Fatalf("Ops = %d", p.Ops())
+	}
+	if len(p.Tensors) != 3 || !p.Tensors[2].ReadWrite {
+		t.Fatalf("tensors wrong: %+v", p.Tensors)
+	}
+	if p.TensorSize(0) != 64*16 || p.TensorSize(1) != 16*32 || p.TensorSize(2) != 64*32 {
+		t.Fatalf("tensor sizes: %d %d %d", p.TensorSize(0), p.TensorSize(1), p.TensorSize(2))
+	}
+	// A uses i and k but not j.
+	a := p.Tensors[0]
+	if !a.Uses(0) || a.Uses(1) || !a.Uses(2) {
+		t.Fatal("A iterator usage wrong")
+	}
+	if p.IterIndex("j") != 1 || p.IterIndex("zzz") != -1 {
+		t.Fatal("IterIndex wrong")
+	}
+}
+
+func TestConv2DStructure(t *testing.T) {
+	p, err := Conv2D(Conv2DConfig{
+		Name: "l1", N: 1, K: 64, C: 3, H: 112, W: 112, R: 7, S: 7,
+		StrideX: 2, StrideY: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Ops() != 1*64*3*7*7*112*112 {
+		t.Fatalf("Ops = %d", p.Ops())
+	}
+	// Input size: N × C × (x(H−1)+R) × (y(W−1)+S).
+	wantIn := int64(1) * 3 * (2*111 + 7) * (2*111 + 7)
+	if got := p.TensorSize(0); got != wantIn {
+		t.Fatalf("In size = %d, want %d", got, wantIn)
+	}
+	if got := p.TensorSize(1); got != 64*3*7*7 {
+		t.Fatalf("Ker size = %d", got)
+	}
+	if got := p.TensorSize(2); got != 64*112*112 {
+		t.Fatalf("Out size = %d", got)
+	}
+	in, ker, out := p.Tensors[0], p.Tensors[1], p.Tensors[2]
+	// In uses n,c,r,s,h,w but not k.
+	if in.Uses(ConvK) || !in.Uses(ConvH) || !in.Uses(ConvR) {
+		t.Fatal("In usage wrong")
+	}
+	// Ker uses k,c,r,s only.
+	if ker.Uses(ConvN) || ker.Uses(ConvH) || !ker.Uses(ConvS) {
+		t.Fatal("Ker usage wrong")
+	}
+	// Out uses n,k,h,w only, and is read-write.
+	if out.Uses(ConvC) || out.Uses(ConvR) || !out.ReadWrite {
+		t.Fatal("Out usage wrong")
+	}
+}
+
+func TestConv2DRejectsBadStride(t *testing.T) {
+	if _, err := Conv2D(Conv2DConfig{N: 1, K: 1, C: 1, H: 1, W: 1, R: 1, S: 1, StrideX: 0, StrideY: 1}); err == nil {
+		t.Fatal("expected stride error")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	cases := []*Problem{
+		{Name: "noiter"},
+		{Name: "badext", Iters: []Iter{{Name: "i", Extent: 0}}, Tensors: []Tensor{{Name: "T", Dims: []IndexExpr{Idx(0)}}}},
+		{Name: "notensor", Iters: []Iter{{Name: "i", Extent: 2}}},
+		{Name: "emptydim", Iters: []Iter{{Name: "i", Extent: 2}}, Tensors: []Tensor{{Name: "T", Dims: []IndexExpr{{}}}}},
+		{Name: "oob", Iters: []Iter{{Name: "i", Extent: 2}}, Tensors: []Tensor{{Name: "T", Dims: []IndexExpr{Idx(5)}}}},
+		{Name: "badstride", Iters: []Iter{{Name: "i", Extent: 2}}, Tensors: []Tensor{{Name: "T", Dims: []IndexExpr{IdxStrided([2]int64{0, 0})}}}},
+	}
+	for _, p := range cases {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("Validate(%s) should fail", p.Name)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p, err := Conv2D(Conv2DConfig{N: 1, K: 2, C: 3, H: 4, W: 4, R: 3, S: 3, StrideX: 2, StrideY: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	for _, want := range []string{"In[", "2*h+r", "Out(rw)[", "k=2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+	m := MatMul(4, 4, 4).String()
+	if !strings.Contains(m, "C(rw)[i,j]") {
+		t.Fatalf("matmul string = %q", m)
+	}
+}
+
+func TestDefaultConvName(t *testing.T) {
+	p, err := Conv2D(Conv2DConfig{N: 1, K: 8, C: 4, H: 8, W: 8, R: 3, S: 3, StrideX: 1, StrideY: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(p.Name, "conv_K8_C4") {
+		t.Fatalf("default name = %q", p.Name)
+	}
+}

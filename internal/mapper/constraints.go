@@ -1,0 +1,102 @@
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/dataflow"
+)
+
+// Constraints restrict the mapping search space, mirroring Timeloop's
+// dataflow-constraints specification: individual trip counts and
+// copy-level loop permutations can be pinned, and the search explores
+// only the remaining freedom.
+type Constraints struct {
+	// FixedTrips[level][iter] pins a trip count; absent entries are free.
+	FixedTrips map[int]map[int]int64
+	// FixedPerms[level] pins the outer-to-inner iterator order of a copy
+	// level.
+	FixedPerms map[int][]int
+}
+
+// Empty reports whether no constraints are set.
+func (c *Constraints) Empty() bool {
+	return c == nil || (len(c.FixedTrips) == 0 && len(c.FixedPerms) == 0)
+}
+
+// tripAt returns the pinned trip for (level, iter), or 0 when free.
+func (c *Constraints) tripAt(li, it int) int64 {
+	if c == nil {
+		return 0
+	}
+	if m, ok := c.FixedTrips[li]; ok {
+		return m[it]
+	}
+	return 0
+}
+
+// Validate checks the constraints against a nest: pinned trips must sit
+// at levels where the iterator is active, must divide the tileable
+// extent, and pinned permutations must match the level's active set.
+func (c *Constraints) Validate(n *dataflow.Nest, free []int64) error {
+	if c.Empty() {
+		return nil
+	}
+	for li, m := range c.FixedTrips {
+		if li < 0 || li >= len(n.Levels) {
+			return fmt.Errorf("mapper: constraint level %d out of range", li)
+		}
+		for it, v := range m {
+			if it < 0 || it >= len(n.Prob.Iters) {
+				return fmt.Errorf("mapper: constraint iterator %d out of range", it)
+			}
+			if v < 1 {
+				return fmt.Errorf("mapper: constraint trip %d for %s must be ≥ 1", v, n.Prob.Iters[it].Name)
+			}
+			if n.Levels[li].Trips[it] == -1 && v != 1 {
+				return fmt.Errorf("mapper: iterator %s is inactive at level %s", n.Prob.Iters[it].Name, n.Levels[li].Name)
+			}
+			if free[it]%v != 0 {
+				return fmt.Errorf("mapper: trip %d does not divide the tileable extent %d of %s",
+					v, free[it], n.Prob.Iters[it].Name)
+			}
+		}
+	}
+	// Combined pinned product per iterator must divide the extent.
+	for it := range n.Prob.Iters {
+		prod := int64(1)
+		for li := range n.Levels {
+			if v := c.tripAt(li, it); v > 0 {
+				prod *= v
+			}
+		}
+		if free[it]%prod != 0 {
+			return fmt.Errorf("mapper: pinned trips of %s multiply to %d, which does not divide %d",
+				n.Prob.Iters[it].Name, prod, free[it])
+		}
+	}
+	for li, perm := range c.FixedPerms {
+		if li < 0 || li >= len(n.Levels) {
+			return fmt.Errorf("mapper: permutation constraint level %d out of range", li)
+		}
+		lvl := &n.Levels[li]
+		if lvl.Kind != dataflow.Temporal || !lvl.Copy {
+			return fmt.Errorf("mapper: level %s takes no permutation", lvl.Name)
+		}
+		if len(perm) != len(lvl.Active) {
+			return fmt.Errorf("mapper: permutation for level %s must order its %d active iterators",
+				lvl.Name, len(lvl.Active))
+		}
+		seen := map[int]bool{}
+		active := map[int]bool{}
+		for _, it := range lvl.Active {
+			active[it] = true
+		}
+		for _, it := range perm {
+			if !active[it] || seen[it] {
+				return fmt.Errorf("mapper: permutation %v is not a permutation of level %s's active set", perm, lvl.Name)
+			}
+			seen[it] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+)
+
+func TestConstraintsEmpty(t *testing.T) {
+	var c *Constraints
+	if !c.Empty() {
+		t.Fatal("nil constraints should be empty")
+	}
+	if (&Constraints{}).Empty() != true {
+		t.Fatal("zero constraints should be empty")
+	}
+	if c.tripAt(0, 0) != 0 {
+		t.Fatal("nil tripAt should be 0")
+	}
+}
+
+func TestSearchWithFixedSpatialTrips(t *testing.T) {
+	p := loopnest.MatMul(64, 64, 64)
+	a := arch.Eyeriss()
+	// Pin the spatial distribution to 8×8 over i and j.
+	cons := &Constraints{FixedTrips: map[int]map[int]int64{
+		dataflow.StandardLevelSpatial: {0: 8, 1: 8},
+	}}
+	res, err := Search(p, &a, Options{
+		Threads: 2, MaxTrials: 1500, Victory: 400, Seed: 5, Constraints: cons,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.PEsUsed != 64 {
+		t.Fatalf("PEsUsed = %d, want exactly 64", res.Report.PEsUsed)
+	}
+	if got := res.Mapping.Trips[dataflow.StandardLevelSpatial][0]; got != 8 {
+		t.Fatalf("pinned spatial trip = %d", got)
+	}
+}
+
+func TestSearchWithFixedPermutation(t *testing.T) {
+	p := loopnest.MatMul(64, 64, 64)
+	a := arch.Eyeriss()
+	want := []int{2, 0, 1} // k, i, j outer-to-inner at the SRAM level
+	cons := &Constraints{FixedPerms: map[int][]int{
+		dataflow.StandardLevelSRAM: want,
+	}}
+	res, err := Search(p, &a, Options{
+		Threads: 1, MaxTrials: 800, Victory: 300, Seed: 9, Constraints: cons,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Mapping.Perms[dataflow.StandardLevelSRAM]
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConstraintsValidation(t *testing.T) {
+	p := loopnest.MatMul(64, 64, 64)
+	a := arch.Eyeriss()
+	bad := []*Constraints{
+		{FixedTrips: map[int]map[int]int64{9: {0: 2}}},                                   // level out of range
+		{FixedTrips: map[int]map[int]int64{0: {9: 2}}},                                   // iter out of range
+		{FixedTrips: map[int]map[int]int64{0: {0: 0}}},                                   // trip < 1
+		{FixedTrips: map[int]map[int]int64{0: {0: 5}}},                                   // 5 does not divide 64
+		{FixedTrips: map[int]map[int]int64{0: {0: 32}, 1: {0: 32}, 2: {0: 32}}},          // product 32768 > 64
+		{FixedPerms: map[int][]int{dataflow.StandardLevelSpatial: {0, 1, 2}}},            // not a copy level
+		{FixedPerms: map[int][]int{dataflow.StandardLevelSRAM: {0, 1}}},                  // wrong length
+		{FixedPerms: map[int][]int{dataflow.StandardLevelSRAM: {0, 0, 1}}},               // duplicate
+		{FixedTrips: map[int]map[int]int64{0: {0: 64}, 1: {0: 1}, 2: {0: 1}, 3: {0: 2}}}, // fully pinned, product 128
+	}
+	for i, c := range bad {
+		if _, err := Search(p, &a, Options{Threads: 1, MaxTrials: 10, Constraints: c}); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestConstraintsFullyPinnedOK(t *testing.T) {
+	p := loopnest.MatMul(64, 64, 64)
+	a := arch.Eyeriss()
+	cons := &Constraints{FixedTrips: map[int]map[int]int64{
+		0: {0: 4}, 1: {0: 4}, 2: {0: 2}, 3: {0: 2},
+	}}
+	res, err := Search(p, &a, Options{Threads: 1, MaxTrials: 800, Victory: 300, Seed: 2, Constraints: cons})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for li, want := range []int64{4, 4, 2, 2} {
+		if got := res.Mapping.Trips[li][0]; got != want {
+			t.Fatalf("level %d trip = %d, want %d", li, got, want)
+		}
+	}
+}

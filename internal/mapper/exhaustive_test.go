@@ -1,0 +1,70 @@
+package mapper
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+func TestOrderedFactorizations(t *testing.T) {
+	fs := orderedFactorizations(8, 2)
+	// 8 = 1·8, 2·4, 4·2, 8·1.
+	if len(fs) != 4 {
+		t.Fatalf("factorizations of 8 into 2 = %d, want 4", len(fs))
+	}
+	for _, f := range fs {
+		if f[0]*f[1] != 8 {
+			t.Fatalf("bad factorization %v", f)
+		}
+	}
+	// 12 into 3 factors: Σ over divisors d of count(12/d into 2).
+	fs = orderedFactorizations(12, 3)
+	for _, f := range fs {
+		if f[0]*f[1]*f[2] != 12 {
+			t.Fatalf("bad factorization %v", f)
+		}
+	}
+	if len(fs) != 18 {
+		t.Fatalf("factorizations of 12 into 3 = %d, want 18", len(fs))
+	}
+	if got := orderedFactorizations(7, 1); len(got) != 1 || got[0][0] != 7 {
+		t.Fatalf("trivial factorization = %v", got)
+	}
+}
+
+func TestExhaustiveTinyMatmul(t *testing.T) {
+	p := loopnest.MatMul(8, 8, 8)
+	a := arch.Arch{Name: "tiny", PEs: 16, Regs: 64, SRAM: 512, Tech: arch.Tech45nm()}
+	res, err := Exhaustive(p, &a, model.MinEnergy, dataflow.StandardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Report.Valid() {
+		t.Fatalf("violations: %v", res.Report.Violations)
+	}
+	if res.Valid == 0 || res.Trials < res.Valid {
+		t.Fatalf("counters: %+v", res)
+	}
+	t.Logf("exhaustive optimum: %.3f pJ/MAC over %d mappings (%d valid)",
+		res.Report.EnergyPerMAC, res.Trials, res.Valid)
+	// Random search over the same space can only match, never beat it.
+	rs, err := Search(p, &a, Options{Threads: 2, MaxTrials: 2000, Victory: 600, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Report.Energy < res.Report.Energy-1e-6 {
+		t.Fatalf("random search %.4f beat the exhaustive optimum %.4f",
+			rs.Report.Energy, res.Report.Energy)
+	}
+}
+
+func TestExhaustiveRejectsHugeSpaces(t *testing.T) {
+	p := loopnest.MatMul(1024, 1024, 1024)
+	a := arch.Eyeriss()
+	if _, err := Exhaustive(p, &a, model.MinEnergy, dataflow.StandardOptions{}); err != ErrTooLarge {
+		t.Fatalf("expected ErrTooLarge, got %v", err)
+	}
+}

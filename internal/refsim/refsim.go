@@ -1,0 +1,238 @@
+// Package refsim is an independent oracle for the paper's Algorithm 1:
+// it computes the exact data traffic of a concrete mapping by brute-force
+// enumeration of the iteration space — walking every MAC, attributing
+// each tensor access to the copy event that staged it, and counting
+// distinct addresses per copy — with no reference to the symbolic
+// footprint/volume formulas. Agreement between this oracle and the
+// analytical model on strided convolutions (where halo and hoisting
+// off-by-ones would show) is the strongest correctness evidence for the
+// symbolic construction.
+//
+// Cost is O(iteration space), so the oracle is only usable on small
+// problems; the dataflow/model packages remain the fast path.
+package refsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// ErrTooLarge reports an iteration space beyond the enumeration budget.
+var ErrTooLarge = errors.New("refsim: iteration space too large")
+
+// MaxPoints bounds the enumerated iteration space.
+const MaxPoints = 1 << 22
+
+// loopRef is one concrete loop of the flattened nest, outermost first.
+type loopRef struct {
+	level int
+	iter  int
+	trip  int64
+	// stride is the contribution of one step of this loop to the global
+	// iterator value (the product of this iterator's trips at all inner
+	// levels).
+	stride int64
+}
+
+// Traffic computes, per copy boundary and per tensor, the exact word
+// traffic of the mapping (read-write tensors doubled, read-only tensors
+// multicast across PEs), by address-set counting.
+func Traffic(n *dataflow.Nest, m *model.Mapping) ([][]int64, error) {
+	if err := n.CheckTrips(m.Trips); err != nil {
+		return nil, err
+	}
+	if n.Prob.Ops() > MaxPoints {
+		return nil, fmt.Errorf("%w: %d points", ErrTooLarge, n.Prob.Ops())
+	}
+
+	trip := func(li, it int) int64 {
+		if li < len(m.Trips) && it < len(m.Trips[li]) && m.Trips[li][it] > 0 {
+			return m.Trips[li][it]
+		}
+		return 1
+	}
+	// Per-level loop order: mapping perms for copy levels, Active order
+	// otherwise. Unit-trip loops are kept: the paper's Algorithm 1
+	// operates on symbolic trip counts, so a *present* loop pins the
+	// hoist point even when its integer trip turns out to be 1. The
+	// oracle follows the same copy-placement convention so that it
+	// verifies the data-movement arithmetic (footprints, halos,
+	// multicast) rather than a different hoisting policy; see the
+	// "unit-trip hoisting" note in DESIGN.md.
+	levelLoops := make([][]int, len(n.Levels))
+	for li := range n.Levels {
+		lvl := &n.Levels[li]
+		order := lvl.Active
+		if lvl.Kind == dataflow.Temporal && lvl.Copy && li < len(m.Perms) && len(m.Perms[li]) > 0 {
+			order = m.Perms[li]
+		}
+		levelLoops[li] = append(levelLoops[li], order...)
+	}
+	// Pinned level-0 trips (untiled kernel loops) are real loops too.
+	// Include every level-0 iterator with trip > 1 even if not in Active.
+	{
+		seen := map[int]bool{}
+		for _, it := range levelLoops[0] {
+			seen[it] = true
+		}
+		for it := range n.Prob.Iters {
+			if !seen[it] && trip(0, it) > 1 {
+				levelLoops[0] = append(levelLoops[0], it)
+			}
+		}
+	}
+
+	// Flatten outermost → innermost and compute iterator strides.
+	var flat []loopRef
+	for li := len(n.Levels) - 1; li >= 0; li-- {
+		for _, it := range levelLoops[li] {
+			inner := int64(1)
+			for lj := 0; lj < li; lj++ {
+				inner *= trip(lj, it)
+			}
+			flat = append(flat, loopRef{level: li, iter: it, trip: trip(li, it), stride: inner})
+		}
+	}
+
+	// Copy boundaries, inner to outer, and each tensor's grouping set:
+	// the flat-loop indices whose values identify one copy event.
+	var copyLevels []int
+	for li := range n.Levels {
+		if n.Levels[li].Kind == dataflow.Temporal && n.Levels[li].Copy {
+			copyLevels = append(copyLevels, li)
+		}
+	}
+	nt := len(n.Prob.Tensors)
+	groupLoops := make([][][]int, len(copyLevels)) // [boundary][tensor] -> flat indices
+	for b, cl := range copyLevels {
+		groupLoops[b] = make([][]int, nt)
+		for ti, t := range n.Prob.Tensors {
+			var idxs []int
+			for fi, lr := range flat {
+				switch {
+				case lr.level > cl:
+					// Loops above the copy level all re-execute the copy,
+					// except spatial loops over iterators absent from a
+					// read-only tensor: those PEs receive the identical
+					// words by multicast, counted once (the paper's rule).
+					// Present spatial iterators group per PE, so halo
+					// overlap between adjacent PEs is counted per PE,
+					// matching the footprint×trips arithmetic.
+					if n.Levels[lr.level].Kind == dataflow.Spatial && !t.ReadWrite && !t.Uses(lr.iter) {
+						continue
+					}
+					idxs = append(idxs, fi)
+				case lr.level == cl:
+					// Loops of the copy level strictly outside the
+					// innermost present loop re-execute the copy; the
+					// innermost present loop's whole range is merged into
+					// a single copy (Algorithm 1's replace step rewrites
+					// the extent rather than multiplying the volume), so
+					// it does not group.
+					if levelHasPresentAfter(flat, fi, cl, t) {
+						idxs = append(idxs, fi)
+					}
+				}
+			}
+			groupLoops[b][ti] = idxs
+		}
+	}
+
+	// Tensor dimension strides for address linearization.
+	dimStride := make([][]int64, nt)
+	for ti := range n.Prob.Tensors {
+		dims := n.Prob.Tensors[ti].Dims
+		dimStride[ti] = make([]int64, len(dims))
+		s := int64(1)
+		for d := len(dims) - 1; d >= 0; d-- {
+			dimStride[ti][d] = s
+			ext := int64(1)
+			for _, term := range dims[d].Terms {
+				ext += term.Stride * (n.Prob.Iters[term.Iter].Extent - 1)
+			}
+			s *= ext
+		}
+	}
+
+	// Enumerate the iteration space with an odometer over flat loops.
+	counts := make([][]map[[2]int64]struct{}, len(copyLevels))
+	for b := range counts {
+		counts[b] = make([]map[[2]int64]struct{}, nt)
+		for ti := range counts[b] {
+			counts[b][ti] = map[[2]int64]struct{}{}
+		}
+	}
+	idx := make([]int64, len(flat))
+	iterVal := make([]int64, len(n.Prob.Iters))
+	for {
+		// Global iterator values.
+		for i := range iterVal {
+			iterVal[i] = 0
+		}
+		for fi, lr := range flat {
+			iterVal[lr.iter] += idx[fi] * lr.stride
+		}
+		for ti, t := range n.Prob.Tensors {
+			// Address of this access.
+			addr := int64(0)
+			for d, ie := range t.Dims {
+				v := int64(0)
+				for _, term := range ie.Terms {
+					v += term.Stride * iterVal[term.Iter]
+				}
+				addr += v * dimStride[ti][d]
+			}
+			for b := range copyLevels {
+				// Group id: mixed-radix over the grouping loops.
+				g := int64(0)
+				for _, fi := range groupLoops[b][ti] {
+					g = g*flat[fi].trip + idx[fi]
+				}
+				counts[b][ti][[2]int64{g, addr}] = struct{}{}
+			}
+		}
+		// Advance odometer (innermost fastest).
+		k := len(flat) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < flat[k].trip {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
+		}
+	}
+
+	out := make([][]int64, len(copyLevels))
+	for b := range copyLevels {
+		out[b] = make([]int64, nt)
+		for ti, t := range n.Prob.Tensors {
+			words := int64(len(counts[b][ti]))
+			if t.ReadWrite {
+				words *= 2
+			}
+			out[b][ti] = words
+		}
+	}
+	return out, nil
+}
+
+// levelHasPresentAfter reports whether, within the copy level cl, a loop
+// strictly deeper than flat position fi uses an iterator present in the
+// tensor. If so, the copy sits inside the loop at fi (it cannot be
+// hoisted past the deeper present loop).
+func levelHasPresentAfter(flat []loopRef, fi, cl int, t loopnest.Tensor) bool {
+	for j := fi + 1; j < len(flat) && flat[j].level == cl; j++ {
+		if t.Uses(flat[j].iter) {
+			return true
+		}
+	}
+	return false
+}

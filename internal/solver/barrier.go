@@ -1,0 +1,450 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/linalg"
+)
+
+// debugTrace enables stderr tracing of solver stalls.
+var debugTrace = os.Getenv("SOLVER_TRACE") != ""
+
+// Status classifies the outcome of a Solve call.
+type Status int
+
+const (
+	// Optimal means the barrier method converged to the duality-gap
+	// tolerance.
+	Optimal Status = iota
+	// Suboptimal means iteration limits were hit; the returned point is
+	// feasible but the gap tolerance was not certified.
+	Suboptimal
+	// Infeasible means phase I could not find a strictly feasible point.
+	Infeasible
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Suboptimal:
+		return "suboptimal"
+	case Infeasible:
+		return "infeasible"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// ErrBadProblem reports a structurally invalid problem (dimension
+// mismatches, inconsistent equalities).
+var ErrBadProblem = errors.New("solver: invalid problem")
+
+// Problem is a convex program in log-space (see package comment).
+type Problem struct {
+	N    int   // dimension of y
+	Obj  LSE   // objective f0
+	Ineq []LSE // constraints fi(y) ≤ 0
+	// Optional equality constraints Aeq·y = Beq. Nil Aeq means none.
+	Aeq *linalg.Dense
+	Beq []float64
+}
+
+// Options tunes the interior-point method. Zero values select defaults.
+type Options struct {
+	// Tol is the target duality gap m/t. Default 1e-8.
+	Tol float64
+	// NewtonTol is the Newton-decrement^2/2 tolerance per centering step.
+	// Default 1e-10.
+	NewtonTol float64
+	// Mu is the barrier parameter multiplier. Default 20.
+	Mu float64
+	// T0 is the initial barrier parameter. Default 1.
+	T0 float64
+	// MaxNewton bounds Newton iterations per centering step. Default 200.
+	MaxNewton int
+	// MaxCentering bounds outer barrier updates. Default 100.
+	MaxCentering int
+	// Box bounds every coordinate: |y_i| ≤ Box, added as constraints.
+	// This keeps phase I bounded when the feasible set is unbounded.
+	// Default 60 (generous for log-space trip counts); negative disables.
+	Box float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-8
+	}
+	if o.NewtonTol == 0 {
+		o.NewtonTol = 1e-10
+	}
+	if o.Mu == 0 {
+		o.Mu = 20
+	}
+	if o.T0 == 0 {
+		o.T0 = 1
+	}
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 200
+	}
+	if o.MaxCentering == 0 {
+		o.MaxCentering = 100
+	}
+	if o.Box == 0 {
+		o.Box = 60
+	}
+	return o
+}
+
+// Result reports the solution of a Solve call.
+type Result struct {
+	Y          []float64 // point in the original y space
+	Objective  float64   // f0(Y)
+	Status     Status
+	Newton     int // total Newton iterations
+	Centerings int
+}
+
+// Solve minimizes the problem starting from the hint y0 (projected onto
+// the equality manifold; pass nil for the origin). The returned point is
+// strictly feasible unless Status == Infeasible.
+func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if p.N <= 0 {
+		return Result{}, fmt.Errorf("%w: N = %d", ErrBadProblem, p.N)
+	}
+
+	// Eliminate equality constraints: y = yPart + Z·z.
+	var yPart []float64
+	var zBasis *linalg.Dense
+	if p.Aeq != nil && p.Aeq.Rows > 0 {
+		if p.Aeq.Cols != p.N || len(p.Beq) != p.Aeq.Rows {
+			return Result{}, fmt.Errorf("%w: equality dimensions", ErrBadProblem)
+		}
+		var err error
+		yPart, zBasis, err = linalg.SolveWithNullspace(p.Aeq, p.Beq)
+		if err != nil {
+			return Result{Status: Infeasible}, nil
+		}
+	} else {
+		yPart = make([]float64, p.N)
+		zBasis = identity(p.N)
+	}
+	nz := zBasis.Cols
+
+	// Compose all functions with the affine map. Box constraints on the
+	// original coordinates keep every subproblem (notably phase I)
+	// bounded.
+	obj := p.Obj.Compose(yPart, zBasis)
+	allIneq := p.Ineq
+	if opts.Box > 0 {
+		allIneq = append(append([]LSE(nil), p.Ineq...), boxConstraints(p.N, opts.Box)...)
+	}
+	ineq := make([]LSE, len(allIneq))
+	for i := range allIneq {
+		ineq[i] = allIneq[i].Compose(yPart, zBasis)
+	}
+
+	recover := func(z []float64) []float64 {
+		y := append([]float64(nil), yPart...)
+		tmp := make([]float64, p.N)
+		zBasis.MulVec(z, tmp)
+		linalg.AXPY(1, tmp, y)
+		return y
+	}
+
+	if nz == 0 {
+		// Fully determined by equalities; just check feasibility.
+		z := []float64{}
+		for i := range ineq {
+			if ineq[i].Value(z) >= 0 {
+				return Result{Status: Infeasible}, nil
+			}
+		}
+		y := recover(z)
+		return Result{Y: y, Objective: p.Obj.Value(y), Status: Optimal}, nil
+	}
+
+	// Initial z: project the hint onto the manifold coordinates.
+	z := make([]float64, nz)
+	if yHint != nil {
+		projectHint(yHint, yPart, zBasis, z)
+	}
+
+	totalNewton := 0
+
+	// Phase I if the initial point is not strictly feasible.
+	if !strictlyFeasible(ineq, z, 1e-9) {
+		var ok bool
+		var n int
+		z, ok, n = phaseI(ineq, z, opts)
+		totalNewton += n
+		if !ok {
+			return Result{Status: Infeasible, Newton: totalNewton}, nil
+		}
+	}
+
+	// Phase II: barrier path following.
+	m := len(ineq)
+	t := opts.T0
+	centerings := 0
+	status := Optimal
+	if m == 0 {
+		// Unconstrained: single Newton minimization of the objective.
+		n, converged := newtonMinimize(&obj, nil, 1, z, opts, nil)
+		totalNewton += n
+		if !converged {
+			status = Suboptimal
+		}
+	} else {
+		for centerings < opts.MaxCentering {
+			n, converged := newtonMinimize(&obj, ineq, t, z, opts, nil)
+			totalNewton += n
+			centerings++
+			if !converged {
+				status = Suboptimal
+			}
+			if float64(m)/t < opts.Tol {
+				break
+			}
+			t *= opts.Mu
+		}
+		if float64(m)/t >= opts.Tol {
+			status = Suboptimal
+		}
+	}
+
+	y := recover(z)
+	return Result{
+		Y:          y,
+		Objective:  p.Obj.Value(y),
+		Status:     status,
+		Newton:     totalNewton,
+		Centerings: centerings,
+	}, nil
+}
+
+// boxConstraints returns the 2n constraints |y_i| ≤ box.
+func boxConstraints(n int, box float64) []LSE {
+	out := make([]LSE, 0, 2*n)
+	for i := 0; i < n; i++ {
+		hi := make([]float64, n)
+		hi[i] = 1
+		out = append(out, Linear(hi, -box))
+		lo := make([]float64, n)
+		lo[i] = -1
+		out = append(out, Linear(lo, -box))
+	}
+	return out
+}
+
+func identity(n int) *linalg.Dense {
+	m := linalg.NewDense(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// projectHint solves min ||yPart + Z z − yHint||² for z.
+func projectHint(yHint, yPart []float64, zb *linalg.Dense, z []float64) {
+	n, nz := zb.Rows, zb.Cols
+	d := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d[i] = yHint[i] - yPart[i]
+	}
+	rhs := make([]float64, nz)
+	zb.MulTransVec(d, rhs)
+	ztz := linalg.NewDense(nz, nz)
+	for i := 0; i < nz; i++ {
+		for j := 0; j < nz; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += zb.At(k, i) * zb.At(k, j)
+			}
+			ztz.Set(i, j, s)
+		}
+	}
+	if sol, err := linalg.SolveSPD(ztz, rhs); err == nil {
+		copy(z, sol)
+	}
+}
+
+func strictlyFeasible(ineq []LSE, z []float64, margin float64) bool {
+	for i := range ineq {
+		if ineq[i].Value(z) > -margin {
+			return false
+		}
+	}
+	return true
+}
+
+// phaseI finds a strictly feasible point by minimizing s subject to
+// fi(z) ≤ s over the extended variable (z, s), stopping as soon as
+// s < 0 at a centered point. Returns the feasible z and success.
+func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
+	nz := len(z0)
+	dim := nz + 1
+	// Extended constraints fi(z) − s ≤ 0 plus a floor s ≥ −1
+	// (−s − 1 ≤ 0) to keep the problem bounded.
+	ext := make([]LSE, 0, len(ineq)+1)
+	for i := range ineq {
+		ext = append(ext, ineq[i].ExtendDim(dim, -1))
+	}
+	floor := make([]float64, dim)
+	floor[dim-1] = -1
+	ext = append(ext, Linear(floor, -1))
+
+	// Objective: minimize s.
+	objA := make([]float64, dim)
+	objA[dim-1] = 1
+	obj := Linear(objA, 0)
+
+	// Strictly feasible start: s = max fi(z0) + 1.
+	x := make([]float64, dim)
+	copy(x, z0)
+	maxF := math.Inf(-1)
+	for i := range ineq {
+		if v := ineq[i].Value(z0); v > maxF {
+			maxF = v
+		}
+	}
+	x[dim-1] = maxF + 1
+
+	total := 0
+	t := opts.T0
+	// Stop a centering step as soon as the slack is clearly negative and
+	// the underlying point is strictly feasible.
+	stop := func(x []float64) bool {
+		return x[dim-1] < -1e-6 && strictlyFeasible(ineq, x[:nz], 0)
+	}
+	for c := 0; c < opts.MaxCentering; c++ {
+		n, _ := newtonMinimize(&obj, ext, t, x, opts, stop)
+		total += n
+		if x[dim-1] < -1e-7 {
+			out := append([]float64(nil), x[:nz]...)
+			if strictlyFeasible(ineq, out, 0) {
+				return out, true, total
+			}
+		}
+		if float64(len(ext))/t < opts.Tol {
+			break
+		}
+		t *= opts.Mu
+	}
+	out := append([]float64(nil), x[:nz]...)
+	return out, strictlyFeasible(ineq, out, 0), total
+}
+
+// newtonMinimize minimizes t·f0(z) − Σ log(−fi(z)) over z in place,
+// returning the Newton iteration count and whether the decrement
+// tolerance was reached. f0 may be nil-adjacent only via ineq==nil
+// unconstrained mode (then the barrier term is absent).
+func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (int, bool) {
+	n := len(z)
+	g := make([]float64, n)
+	h := linalg.NewDense(n, n)
+	gTmp := make([]float64, n)
+	hTmp := linalg.NewDense(n, n)
+
+	eval := func(z []float64, needDeriv bool) (float64, bool) {
+		var val float64
+		if needDeriv {
+			val = t * f0.Eval(z, g, h)
+			linalg.Scale(t, g)
+			for i := range h.Data {
+				h.Data[i] *= t
+			}
+		} else {
+			val = t * f0.Value(z)
+		}
+		for i := range ineq {
+			var fi float64
+			if needDeriv {
+				fi = ineq[i].Eval(z, gTmp, hTmp)
+			} else {
+				fi = ineq[i].Value(z)
+			}
+			if fi >= 0 {
+				if needDeriv && debugTrace {
+					fmt.Fprintf(os.Stderr, "TRACE: constraint %d value %g at newton entry\n", i, fi)
+				}
+				return math.Inf(1), false
+			}
+			val -= math.Log(-fi)
+			if needDeriv {
+				inv := -1.0 / fi // positive
+				linalg.AXPY(inv, gTmp, g)
+				inv2 := inv * inv
+				for r := 0; r < n; r++ {
+					gr := gTmp[r]
+					for c := 0; c <= r; c++ {
+						v := inv2*gr*gTmp[c] + inv*hTmp.At(r, c)
+						h.Add(r, c, v)
+						if c != r {
+							h.Add(c, r, v)
+						}
+					}
+				}
+			}
+		}
+		return val, true
+	}
+
+	zTrial := make([]float64, n)
+	for it := 0; it < opts.MaxNewton; it++ {
+		val, ok := eval(z, true)
+		if !ok {
+			if debugTrace {
+				fmt.Fprintf(os.Stderr, "TRACE: eval infeasible at start of newton iter %d (t=%g)\n", it, t)
+			}
+			return it, false // should not happen from a feasible start
+		}
+		negG := make([]float64, n)
+		for i := range g {
+			negG[i] = -g[i]
+		}
+		d, err := linalg.SolveSPD(h, negG)
+		if err != nil {
+			// Fall back to steepest descent.
+			d = negG
+		}
+		lambda2 := -linalg.Dot(g, d)
+		if lambda2 <= 0 {
+			// Not a descent direction (numerical trouble): use gradient.
+			d = negG
+			lambda2 = linalg.Dot(g, g)
+		}
+		if lambda2/2 <= opts.NewtonTol {
+			return it + 1, true
+		}
+		// Backtracking line search (Armijo, alpha=0.25, beta=0.5), with
+		// implicit feasibility filtering via +Inf values.
+		step := 1.0
+		improved := false
+		for ls := 0; ls < 60; ls++ {
+			copy(zTrial, z)
+			linalg.AXPY(step, d, zTrial)
+			if tv, tok := eval(zTrial, false); tok && tv <= val-0.25*step*lambda2 {
+				copy(z, zTrial)
+				improved = true
+				break
+			}
+			step *= 0.5
+		}
+		if !improved {
+			// No progress possible at machine precision.
+			if debugTrace {
+				fmt.Fprintf(os.Stderr, "TRACE: line search stalled at iter %d t=%g val=%g lambda2=%g\n", it, t, val, lambda2)
+			}
+			return it + 1, true
+		}
+		if stop != nil && stop(z) {
+			return it + 1, true
+		}
+	}
+	return opts.MaxNewton, false
+}

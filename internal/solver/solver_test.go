@@ -1,0 +1,304 @@
+package solver
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func fdCheckGrad(t *testing.T, f *LSE, y []float64) {
+	t.Helper()
+	n := len(y)
+	g := make([]float64, n)
+	f.Eval(y, g, nil)
+	const h = 1e-6
+	for i := 0; i < n; i++ {
+		yp := append([]float64(nil), y...)
+		ym := append([]float64(nil), y...)
+		yp[i] += h
+		ym[i] -= h
+		fd := (f.Value(yp) - f.Value(ym)) / (2 * h)
+		if math.Abs(fd-g[i]) > 1e-5*(1+math.Abs(fd)) {
+			t.Fatalf("grad[%d] = %v, finite-diff %v", i, g[i], fd)
+		}
+	}
+}
+
+func fdCheckHess(t *testing.T, f *LSE, y []float64) {
+	t.Helper()
+	n := len(y)
+	h := linalg.NewDense(n, n)
+	f.Eval(y, nil, h)
+	const eps = 1e-5
+	for i := 0; i < n; i++ {
+		gp := make([]float64, n)
+		gm := make([]float64, n)
+		yp := append([]float64(nil), y...)
+		ym := append([]float64(nil), y...)
+		yp[i] += eps
+		ym[i] -= eps
+		f.Eval(yp, gp, nil)
+		f.Eval(ym, gm, nil)
+		for j := 0; j < n; j++ {
+			fd := (gp[j] - gm[j]) / (2 * eps)
+			if math.Abs(fd-h.At(i, j)) > 1e-4*(1+math.Abs(fd)) {
+				t.Fatalf("hess[%d,%d] = %v, finite-diff %v", i, j, h.At(i, j), fd)
+			}
+		}
+	}
+}
+
+func TestLSEDerivatives(t *testing.T) {
+	f := LSE{
+		A: [][]float64{{1, 2}, {-1, 0.5}, {0, -2}},
+		B: []float64{0.1, -0.3, 0.7},
+	}
+	for _, y := range [][]float64{{0, 0}, {1, -1}, {-2, 3}, {0.5, 0.5}} {
+		fdCheckGrad(t, &f, y)
+		fdCheckHess(t, &f, y)
+	}
+}
+
+func TestLSEValueStability(t *testing.T) {
+	// Large offsets must not overflow.
+	f := LSE{A: [][]float64{{1}, {1}}, B: []float64{1000, 1000}}
+	got := f.Value([]float64{0})
+	want := 1000 + math.Log(2)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("Value = %v, want %v", got, want)
+	}
+}
+
+func TestLinear(t *testing.T) {
+	f := Linear([]float64{2, -1}, 3)
+	if got := f.Value([]float64{1, 4}); got != 2-4+3 {
+		t.Fatalf("linear value = %v, want 1", got)
+	}
+	if f.Terms() != 1 {
+		t.Fatal("linear should be single-term")
+	}
+}
+
+func TestCompose(t *testing.T) {
+	f := LSE{A: [][]float64{{1, 1}, {2, -1}}, B: []float64{0, 1}}
+	y0 := []float64{0.5, -0.5}
+	z := linalg.FromRows([][]float64{{1}, {2}})
+	g := f.Compose(y0, z)
+	for _, zv := range []float64{-1, 0, 0.7} {
+		y := []float64{y0[0] + zv, y0[1] + 2*zv}
+		if a, b := g.Value([]float64{zv}), f.Value(y); math.Abs(a-b) > 1e-12 {
+			t.Fatalf("compose mismatch at z=%v: %v vs %v", zv, a, b)
+		}
+	}
+}
+
+func TestExtendDim(t *testing.T) {
+	f := LSE{A: [][]float64{{1, 2}}, B: []float64{0.5}}
+	g := f.ExtendDim(3, -1)
+	y := []float64{1, 2}
+	s := 0.75
+	if a, b := g.Value([]float64{1, 2, s}), f.Value(y)-s; math.Abs(a-b) > 1e-12 {
+		t.Fatalf("ExtendDim mismatch: %v vs %v", a, b)
+	}
+}
+
+// solveGP2 is the classic tiny GP: minimize x + y subject to x·y ≥ 1,
+// whose optimum is x = y = 1 (objective 2). In log space: minimize
+// log(e^y1 + e^y2) subject to −y1 − y2 ≤ 0.
+func TestSolveTinyGP(t *testing.T) {
+	p := &Problem{
+		N:    2,
+		Obj:  LSE{A: [][]float64{{1, 0}, {0, 1}}, B: []float64{0, 0}},
+		Ineq: []LSE{Linear([]float64{-1, -1}, 0)},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if math.Abs(res.Objective-math.Log(2)) > 1e-5 {
+		t.Fatalf("objective = %v, want log 2", res.Objective)
+	}
+	for i, v := range res.Y {
+		if math.Abs(v) > 1e-4 {
+			t.Fatalf("y[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// minimize x + y s.t. x·y = 6 → x = y = √6, objective 2√6.
+	// Log space: min log(e^y1+e^y2) s.t. y1 + y2 = log 6.
+	p := &Problem{
+		N:   2,
+		Obj: LSE{A: [][]float64{{1, 0}, {0, 1}}, B: []float64{0, 0}},
+		Aeq: linalg.FromRows([][]float64{{1, 1}}),
+		Beq: []float64{math.Log(6)},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	want := math.Log(2 * math.Sqrt(6))
+	if math.Abs(res.Objective-want) > 1e-5 {
+		t.Fatalf("objective = %v, want %v", res.Objective, want)
+	}
+	if math.Abs(res.Y[0]-res.Y[1]) > 1e-4 {
+		t.Fatalf("asymmetric solution %v", res.Y)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x ≤ 0.5 and x ≥ 2 cannot hold: y ≤ log 0.5, −y ≤ −log 2.
+	p := &Problem{
+		N:   1,
+		Obj: Linear([]float64{1}, 0),
+		Ineq: []LSE{
+			Linear([]float64{1}, -math.Log(0.5)),
+			Linear([]float64{-1}, math.Log(2)),
+		},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveInconsistentEquality(t *testing.T) {
+	p := &Problem{
+		N:   2,
+		Obj: Linear([]float64{1, 0}, 0),
+		Aeq: linalg.FromRows([][]float64{{1, 1}, {2, 2}}),
+		Beq: []float64{0, 1},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveFullyDeterminedByEqualities(t *testing.T) {
+	p := &Problem{
+		N:   2,
+		Obj: LSE{A: [][]float64{{1, 0}}, B: []float64{0}},
+		Aeq: linalg.FromRows([][]float64{{1, 0}, {0, 1}}),
+		Beq: []float64{1, 2},
+		Ineq: []LSE{
+			Linear([]float64{1, 0}, -3), // y1 ≤ 3: satisfied
+		},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Y[0]-1) > 1e-12 || math.Abs(res.Y[1]-2) > 1e-12 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Now make the fixed point violate an inequality.
+	p.Ineq = []LSE{Linear([]float64{1, 0}, 5)} // y1 + 5 ≤ 0: violated
+	res, err = Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", res.Status)
+	}
+}
+
+func TestSolveUnconstrained(t *testing.T) {
+	// minimize log(e^{y} + e^{−y}): optimum at y = 0, value log 2.
+	p := &Problem{
+		N:   1,
+		Obj: LSE{A: [][]float64{{1}, {-1}}, B: []float64{0, 0}},
+	}
+	res, err := Solve(p, []float64{3}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Y[0]) > 1e-5 || math.Abs(res.Objective-math.Log(2)) > 1e-8 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestSolveActiveConstraint(t *testing.T) {
+	// minimize 1/x (log: −y) subject to x ≤ 5 (y ≤ log 5) → x = 5.
+	p := &Problem{
+		N:    1,
+		Obj:  Linear([]float64{-1}, 0),
+		Ineq: []LSE{Linear([]float64{1}, -math.Log(5))},
+	}
+	res, err := Solve(p, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(math.Exp(res.Y[0])-5) > 1e-3 {
+		t.Fatalf("x = %v, want 5", math.Exp(res.Y[0]))
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Suboptimal.String() != "suboptimal" ||
+		Infeasible.String() != "infeasible" || Status(42).String() == "" {
+		t.Fatal("Status strings")
+	}
+}
+
+// Property: for random feasible GP-like problems minimize c·y subject to
+// box constraints l ≤ y ≤ u, the solver returns y within the box and at
+// the correct corner (sign-dependent).
+func TestQuickBoxLP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		c := make([]float64, n)
+		lo := make([]float64, n)
+		hi := make([]float64, n)
+		var ineq []LSE
+		for i := 0; i < n; i++ {
+			c[i] = rng.NormFloat64()
+			if math.Abs(c[i]) < 0.1 {
+				c[i] = 0.5
+			}
+			lo[i] = -1 - rng.Float64()
+			hi[i] = 1 + rng.Float64()
+			ei := make([]float64, n)
+			ei[i] = 1
+			ineq = append(ineq, Linear(ei, -hi[i])) // y_i ≤ hi
+			mi := make([]float64, n)
+			mi[i] = -1
+			ineq = append(ineq, Linear(mi, lo[i])) // y_i ≥ lo
+		}
+		p := &Problem{N: n, Obj: Linear(c, 0), Ineq: ineq}
+		res, err := Solve(p, nil, Options{})
+		if err != nil || res.Status == Infeasible {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			want := hi[i]
+			if c[i] > 0 {
+				want = lo[i]
+			}
+			if math.Abs(res.Y[i]-want) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

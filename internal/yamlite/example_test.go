@@ -1,0 +1,39 @@
+package yamlite_test
+
+import (
+	"fmt"
+
+	"repro/internal/yamlite"
+)
+
+func ExampleParse() {
+	doc := `
+mapping:
+  - target: DRAM
+    type: temporal
+    factors: K=4 J=4 I=4
+    permutation: J K I
+`
+	root, err := yamlite.Parse(doc)
+	if err != nil {
+		panic(err)
+	}
+	entry := root.Get("mapping").Items[0]
+	target, _ := entry.Get("target").Str()
+	perm, _ := entry.Get("permutation").Str()
+	fmt.Println(target, "|", perm)
+	// Output:
+	// DRAM | J K I
+}
+
+func ExampleEncode() {
+	root := yamlite.NewMap()
+	root.Set("problem", yamlite.NewMap().
+		Set("name", yamlite.NewScalar("matmul")).
+		Set("I", yamlite.NewInt(64)))
+	fmt.Print(yamlite.Encode(root))
+	// Output:
+	// problem:
+	//   name: matmul
+	//   I: 64
+}
