@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short test run (skips the CLI integration tests).
+test:
+	$(GO) test -short ./...
+
+# Race-detector run over the concurrent packages: the mapper's worker
+# pool, core's parallel GP solve loop, the solver telemetry hooks, and
+# the obs registry itself.
+race:
+	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/...
+
+check: build vet test race
+	@echo "check: ok"
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

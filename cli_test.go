@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -80,6 +81,84 @@ func TestCLIEndToEnd(t *testing.T) {
 	eout := run("experiments", "-exp", "table2,table3")
 	if !strings.Contains(eout, "resnet18_L1") || !strings.Contains(eout, "energy_per_MAC_pJ") {
 		t.Fatalf("experiments output:\n%s", eout)
+	}
+}
+
+// TestCLIObservability runs thistle with the full observability flag
+// set and checks the trace tree, metrics snapshots, and profiles it
+// leaves behind.
+func TestCLIObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.json")
+	cpuPath := filepath.Join(dir, "cpu.pprof")
+	memPath := filepath.Join(dir, "mem.pprof")
+
+	cmd := exec.Command(filepath.Join(bin, "thistle"),
+		"-layer", "resnet18_L12", "-specs=false",
+		"-v", "debug", "-trace", tracePath, "-metrics",
+		"-metrics-json", metricsPath,
+		"-cpuprofile", cpuPath, "-memprofile", memPath)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("thistle with observability flags: %v\n%s", err, out)
+	}
+	sout := string(out)
+	if !strings.Contains(sout, "--- metrics ---") || !strings.Contains(sout, "solver.newton_iters") {
+		t.Fatalf("metrics table missing from output:\n%s", sout)
+	}
+	if !strings.Contains(sout, "DEBUG") {
+		t.Fatalf("-v debug produced no DEBUG log lines:\n%s", sout)
+	}
+
+	trace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, span := range []string{
+		`"optimize"`, `"rs-placement"`, `"enumerate-classes"`,
+		`"gp-solve-pass"`, `"gp-pair"`, `"formulate"`, `"solve"`,
+		`"phase-ii"`, `"integerize"`, `"model-eval"`,
+	} {
+		if !strings.Contains(string(trace), `"name": `+span) {
+			t.Errorf("trace missing span %s", span)
+		}
+	}
+
+	metrics, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(metrics, &snap); err != nil {
+		t.Fatalf("metrics JSON: %v\n%s", err, metrics)
+	}
+	counters := map[string]int64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	for _, c := range []string{"solver.newton_iters", "solver.solves", "core.pairs_solved", "core.int_candidates"} {
+		if counters[c] <= 0 {
+			t.Errorf("counter %s = %d, want > 0 (metrics: %s)", c, counters[c], metrics)
+		}
+	}
+
+	for _, p := range []string{cpuPath, memPath} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile %s: %v", p, err)
+		} else if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,9 +39,17 @@ func run() error {
 		plot  = flag.Bool("plot", false, "render textual bar charts instead of plain tables")
 		seed  = flag.Int64("seed", 1, "random seed for the mapper baseline")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr}
+	o, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsFlags.Close()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: o}
 	runners := experiments.AllRunners()
 
 	var ids []string
@@ -83,5 +92,5 @@ func run() error {
 			}
 		}
 	}
-	return nil
+	return obsFlags.Finish(os.Stdout)
 }

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/loopnest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/internal/yamlite"
@@ -60,7 +62,16 @@ func run() error {
 		dilation  = flag.Int64("dilation", 1, "dilation (explicit conv)")
 		nocHop    = flag.Float64("noc", 0, "NoC energy per word-hop in pJ (0 disables, the paper's setting)")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsFlags.Close()
+	ctx := obs.NewContext(context.Background(), o)
 
 	var prob *loopnest.Problem
 	if *pipeline == "" {
@@ -109,10 +120,13 @@ func run() error {
 	}
 
 	if *pipeline != "" {
-		return runPipeline(*pipeline, opts)
+		if err := runPipeline(ctx, *pipeline, opts); err != nil {
+			return err
+		}
+		return obsFlags.Finish(os.Stdout)
 	}
 
-	res, err := core.Optimize(prob, opts)
+	res, err := core.OptimizeContext(ctx, prob, opts)
 	if err != nil {
 		return err
 	}
@@ -155,12 +169,12 @@ func run() error {
 		fmt.Println("--- tiled loop nest ---")
 		fmt.Print(code)
 	}
-	return nil
+	return obsFlags.Finish(os.Stdout)
 }
 
 // runPipeline optimizes every layer of a pipeline and prints one TSV row
 // per layer plus totals.
-func runPipeline(name string, opts core.Options) error {
+func runPipeline(ctx context.Context, name string, opts core.Options) error {
 	var layers []workloads.Layer
 	switch name {
 	case "resnet18":
@@ -180,7 +194,7 @@ func runPipeline(name string, opts core.Options) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.Optimize(p, opts)
+		res, err := core.OptimizeContext(ctx, p, opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", l.Name(), err)
 		}

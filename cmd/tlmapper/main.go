@@ -19,6 +19,7 @@ import (
 	"repro/internal/loopnest"
 	"repro/internal/mapper"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/internal/yamlite"
@@ -44,7 +45,15 @@ func run() error {
 		emit      = flag.Bool("specs", false, "print the best mapping as a spec")
 		consFile  = flag.String("constraints", "", "constraints spec file (pins factors/permutations)")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
+
+	o, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsFlags.Close()
 
 	var prob *loopnest.Problem
 	switch {
@@ -91,7 +100,7 @@ func run() error {
 		}
 	}
 
-	opts := mapper.Options{Threads: *threads, MaxTrials: *trials, Victory: *victory, Seed: *seed}
+	opts := mapper.Options{Threads: *threads, MaxTrials: *trials, Victory: *victory, Seed: *seed, Obs: o}
 	if *consFile != "" {
 		text, err := os.ReadFile(*consFile)
 		if err != nil {
@@ -144,5 +153,5 @@ func run() error {
 		fmt.Println("--- mapping ---")
 		fmt.Print(yamlite.Encode(node))
 	}
-	return nil
+	return obsFlags.Finish(os.Stdout)
 }

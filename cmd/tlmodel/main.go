@@ -19,6 +19,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/dataflow"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/specs"
 	"repro/internal/yamlite"
 )
@@ -37,8 +38,17 @@ func run() error {
 		archFile = flag.String("arch", "", "architecture spec file")
 		mapFile  = flag.String("mapping", "", "mapping spec file")
 	)
+	var obsFlags obs.Flags
+	obsFlags.Register(flag.CommandLine)
 	flag.Parse()
 
+	o, err := obsFlags.Setup(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer obsFlags.Close()
+
+	parseSpan := o.StartSpan(nil, "parse-specs")
 	var probNode, archNode, mapNode *yamlite.Node
 	if *bundle != "" {
 		root, err := parseFile(*bundle)
@@ -78,9 +88,15 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("mapping: %w", err)
 	}
+	parseSpan.End()
 
+	evalSpan := o.StartSpan(nil, "evaluate")
+	if evalSpan != nil {
+		evalSpan.Annotate(obs.String("problem", prob.Name))
+	}
 	ev := model.NewEvaluator(nest)
 	rep, err := ev.Evaluate(&a, m)
+	evalSpan.End()
 	if err != nil {
 		return err
 	}
@@ -97,11 +113,14 @@ func run() error {
 	fmt.Printf("footprints:    %.0f register words/PE, %.0f SRAM words\n", rep.RegFootprint, rep.SRAMFootprint)
 	if rep.Valid() {
 		fmt.Println("constraints:   ok")
-		return nil
+		return obsFlags.Finish(os.Stdout)
 	}
 	fmt.Println("constraints:   VIOLATED")
 	for _, v := range rep.Violations {
 		fmt.Printf("  - %s\n", v)
+	}
+	if err := obsFlags.Finish(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tlmodel:", err)
 	}
 	os.Exit(2)
 	return nil

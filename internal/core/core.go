@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/loopnest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/solver"
 )
 
@@ -143,7 +145,21 @@ type solvedPair struct {
 // Optimize runs the Thistle flow for one problem, trying each configured
 // placement of the untiled kernel loops and returning the best design.
 func Optimize(p *loopnest.Problem, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, opts)
+}
+
+// OptimizeContext is Optimize with telemetry: when ctx carries an obs
+// bundle (obs.NewContext), the run records a span tree (per RS
+// placement, per permutation-pair GP solve with its formulate and
+// phase-I/II children, integerization and model evaluation), search
+// counters, and leveled progress logs. A bare context makes every hook
+// a nil no-op.
+func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
+	o := obs.FromContext(ctx)
+	ctx, span := obs.StartSpan(ctx, "optimize",
+		obs.String("problem", p.Name), obs.String("mode", opts.Mode.String()))
+	defer span.End()
 	placements := opts.RSPlacements
 	if placements == nil {
 		placements = []dataflow.RSPlacement{dataflow.RSAtRegister}
@@ -151,34 +167,57 @@ func Optimize(p *loopnest.Problem, opts Options) (*Result, error) {
 			placements = append(placements, dataflow.RSAtLevel1)
 		}
 	}
+	if o.Enabled(obs.Info) {
+		o.Logf(obs.Info, "optimize %s: criterion=%v mode=%v placements=%d",
+			p.Name, opts.Criterion, opts.Mode, len(placements))
+	}
 	var best *Result
 	var combined Stats
 	var firstErr error
 	for _, rs := range placements {
-		o := opts
-		o.Nest.RS = rs
-		res, err := optimizeOne(p, o)
+		po := opts
+		po.Nest.RS = rs
+		pctx, pspan := obs.StartSpan(ctx, "rs-placement", obs.String("rs", rs.String()))
+		res, err := optimizeOne(pctx, p, po)
+		if res != nil {
+			// Accumulate search effort across placements — including
+			// placements that found no design but still solved GPs —
+			// instead of overwriting with the best placement's counts.
+			combined.ClassesL1 += res.Stats.ClassesL1
+			combined.ClassesSRAM += res.Stats.ClassesSRAM
+			combined.PairsSolved += res.Stats.PairsSolved
+			combined.Candidates += res.Stats.Candidates
+			combined.NewtonIters += res.Stats.NewtonIters
+			combined.Infeasible += res.Stats.Infeasible
+			combined.Suboptimal += res.Stats.Suboptimal
+			pspan.Annotate(
+				obs.Int("classes_l1", res.Stats.ClassesL1),
+				obs.Int("classes_sram", res.Stats.ClassesSRAM),
+				obs.Int("pairs_solved", res.Stats.PairsSolved),
+			)
+		}
+		pspan.End()
 		if err != nil {
+			if o.Enabled(obs.Debug) {
+				o.Logf(obs.Debug, "optimize %s: placement %v failed: %v", p.Name, rs, err)
+			}
 			if firstErr == nil {
 				firstErr = err
 			}
 			continue
 		}
-		combined.PairsSolved += res.Stats.PairsSolved
-		combined.Candidates += res.Stats.Candidates
-		combined.NewtonIters += res.Stats.NewtonIters
-		combined.Infeasible += res.Stats.Infeasible
-		combined.Suboptimal += res.Stats.Suboptimal
-		if best == nil || model.Score(o.Criterion, res.Best.Report) < model.Score(o.Criterion, best.Best.Report) {
+		if best == nil || model.Score(po.Criterion, res.Best.Report) < model.Score(po.Criterion, best.Best.Report) {
 			best = res
 		}
 	}
 	if best == nil {
 		return nil, firstErr
 	}
-	combined.ClassesL1 = best.Stats.ClassesL1
-	combined.ClassesSRAM = best.Stats.ClassesSRAM
 	best.Stats = combined
+	if o.Enabled(obs.Info) {
+		o.Logf(obs.Info, "optimize %s: done, %d GPs solved (%d newton iters), %d integer candidates",
+			p.Name, combined.PairsSolved, combined.NewtonIters, combined.Candidates)
+	}
 	return best, nil
 }
 
@@ -194,10 +233,13 @@ func hasUntiledKernelLoops(p *loopnest.Problem) bool {
 }
 
 // optimizeOne runs the flow for one fixed nest configuration.
-func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
+func optimizeOne(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, error) {
 	if err := opts.Arch.Validate(); err != nil {
 		return nil, err
 	}
+	o := obs.FromContext(ctx)
+	tracing := o.TracingEnabled()
+	parent := obs.SpanFromContext(ctx)
 	nest, err := dataflow.StandardNest(p, opts.Nest)
 	if err != nil {
 		return nil, err
@@ -214,17 +256,36 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 	varT := nest.Vars.NewVar("delay_T")
 
 	// Permutation classes at both copy levels.
+	enumSpan := o.StartSpan(parent, "enumerate-classes")
 	var syms []dataflow.Involution
 	if !opts.DisablePruning {
 		syms = dataflow.SymmetricInvolutions(p)
 	}
 	classesL1, err := enumerate(nest, dataflow.StandardLevelL1, syms, opts.DisablePruning)
 	if err != nil {
+		enumSpan.End()
 		return nil, err
 	}
 	classesSRAM, err := enumerate(nest, dataflow.StandardLevelSRAM, syms, opts.DisablePruning)
 	if err != nil {
+		enumSpan.End()
 		return nil, err
+	}
+	if enumSpan != nil {
+		enumSpan.Annotate(obs.Int("classes_l1", len(classesL1)), obs.Int("classes_sram", len(classesSRAM)))
+		enumSpan.End()
+	}
+	if o.MetricsEnabled() {
+		// Per-placement class counts, plus running totals across the run.
+		rs := opts.Nest.RS.String()
+		o.Gauge("core.classes_l1." + rs).Set(int64(len(classesL1)))
+		o.Gauge("core.classes_sram." + rs).Set(int64(len(classesSRAM)))
+		o.Counter("core.classes_l1").Add(int64(len(classesL1)))
+		o.Counter("core.classes_sram").Add(int64(len(classesSRAM)))
+	}
+	if o.Enabled(obs.Debug) {
+		o.Logf(obs.Debug, "optimize %s: placement %v: %d x %d permutation classes",
+			p.Name, opts.Nest.RS, len(classesL1), len(classesSRAM))
 	}
 
 	stats := Stats{ClassesL1: len(classesL1), ClassesSRAM: len(classesSRAM)}
@@ -240,7 +301,17 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 			jobs = append(jobs, job{c1.Perm, c3.Perm})
 		}
 	}
+	// Hoisted metric handles: nil no-ops when telemetry is off, so the
+	// worker loop pays only nil checks.
+	pairsC := o.Counter("core.pairs_solved")
+	infeasC := o.Counter("core.gp_infeasible")
+	subC := o.Counter("core.gp_suboptimal")
 	solvePass := func(capSlack bool) ([]solvedPair, error) {
+		passSpan := o.StartSpan(parent, "gp-solve-pass")
+		if passSpan != nil {
+			passSpan.Annotate(obs.Int("jobs", len(jobs)), obs.Attr{Key: "cap_slack", Value: capSlack})
+		}
+		defer passSpan.End()
 		var (
 			mu     sync.Mutex
 			solved []solvedPair
@@ -257,9 +328,17 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 			go func() {
 				defer wg.Done()
 				for j := range next {
+					var pairSpan *obs.Span
+					if tracing {
+						pairSpan = o.StartSpan(passSpan, "gp-pair",
+							obs.Stringer("perm_l1", j.l1), obs.Stringer("perm_sram", j.sram))
+					}
 					perms := dataflow.StandardPerms(j.l1, j.sram)
+					fspan := o.StartSpan(pairSpan, "formulate")
 					f, err := buildGP(nest, perms, av, opts.Criterion, varT, capSlack)
+					fspan.End()
 					if err != nil {
+						pairSpan.End()
 						mu.Lock()
 						if firstErr == nil {
 							firstErr = err
@@ -267,7 +346,11 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 						mu.Unlock()
 						continue
 					}
-					res, err := f.solve(opts.Solver)
+					sopts := opts.Solver
+					sopts.Obs = o
+					sopts.Span = pairSpan
+					res, err := f.solve(sopts)
+					pairsC.Inc()
 					mu.Lock()
 					stats.PairsSolved++
 					if err != nil {
@@ -278,8 +361,10 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 						switch res.Status {
 						case solver.Infeasible:
 							stats.Infeasible++
+							infeasC.Inc()
 						case solver.Suboptimal:
 							stats.Suboptimal++
+							subC.Inc()
 							fallthrough
 						case solver.Optimal:
 							stats.NewtonIters += res.Newton
@@ -290,6 +375,16 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 						}
 					}
 					mu.Unlock()
+					if pairSpan != nil {
+						if err == nil {
+							pairSpan.Annotate(
+								obs.String("status", res.Status.String()),
+								obs.Int("newton", res.Newton),
+								obs.Float("objective", res.Objective),
+							)
+						}
+						pairSpan.End()
+					}
 				}
 			}()
 		}
@@ -327,10 +422,30 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 		minUtil: opts.MinUtilization,
 		maxCand: opts.MaxCandidates,
 	}
+	candC := o.Counter("core.int_candidates")
+	// integerizeOne converts one relaxed solution to the best integer
+	// design, recording an integerize span whose model-eval child covers
+	// the streamed candidate evaluation.
+	integerizeOne := func(x []float64, sp solvedPair) (*candidate, *model.Report, int) {
+		var ispan *obs.Span
+		if tracing {
+			ispan = o.StartSpan(parent, "integerize", obs.Float("gp_objective", sp.objective))
+		}
+		evalSpan := o.StartSpan(ispan, "model-eval")
+		perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
+		c, rep, visited := searchIntegerCandidates(ev, nest, perms, x, av, iopt, opts.Criterion)
+		candC.Add(int64(visited))
+		if evalSpan != nil {
+			evalSpan.SetAttr("candidates", int64(visited))
+			evalSpan.End()
+			ispan.SetAttr("found", c != nil)
+			ispan.End()
+		}
+		return c, rep, visited
+	}
 	var best *DesignPoint
 	for _, sp := range solved[:top] {
-		perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
-		c, rep, visited := searchIntegerCandidates(ev, nest, perms, sp.x, av, iopt, opts.Criterion)
+		c, rep, visited := integerizeOne(sp.x, sp)
 		stats.Candidates += visited
 		if c == nil {
 			continue
@@ -360,8 +475,7 @@ func optimizeOne(p *loopnest.Problem, opts Options) (*Result, error) {
 						shrunk[i] = math.Pow(shrunk[i], lambda)
 					}
 				}
-				perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
-				c, rep, visited := searchIntegerCandidates(ev, nest, perms, shrunk, av, iopt, opts.Criterion)
+				c, rep, visited := integerizeOne(shrunk, sp)
 				stats.Candidates += visited
 				if c == nil {
 					continue

@@ -21,6 +21,17 @@ const (
 	RSAtLevel1
 )
 
+func (r RSPlacement) String() string {
+	switch r {
+	case RSAtRegister:
+		return "rs_at_register"
+	case RSAtLevel1:
+		return "rs_at_level1"
+	default:
+		return fmt.Sprintf("rs_placement(%d)", int(r))
+	}
+}
+
 // StandardOptions configures StandardNest.
 type StandardOptions struct {
 	// RS selects the placement of untiled small loops (see RSPlacement).

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapper"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -28,6 +30,11 @@ type Config struct {
 	Seed int64
 	// Verbose writes progress lines to Progress.
 	Progress io.Writer
+	// Obs receives telemetry from the experiment runs: a span per
+	// experiment with per-layer children (each wrapping its Thistle and
+	// mapper sub-runs), plus the core/solver/mapper counters. Nil
+	// disables it.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +72,18 @@ func (c Config) progress(format string, args ...interface{}) {
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, format+"\n", args...)
 	}
+}
+
+// startSpan opens the root span of one experiment, returning a context
+// that carries the telemetry bundle for the per-layer sub-runs.
+func (c Config) startSpan(id string) (context.Context, *obs.Span) {
+	ctx := obs.NewContext(context.Background(), c.Obs)
+	return obs.StartSpan(ctx, "experiment", obs.String("id", id))
+}
+
+// layerSpan opens a per-layer child span inside an experiment.
+func layerSpan(ctx context.Context, l workloads.Layer) (context.Context, *obs.Span) {
+	return obs.StartSpan(ctx, "layer", obs.String("name", l.Name()))
 }
 
 // Series is one line of a figure.
@@ -126,22 +145,22 @@ func layerNames(ls []workloads.Layer) []string {
 }
 
 // thistleFixed runs Thistle dataflow optimization on a fixed architecture.
-func thistleFixed(l workloads.Layer, a *arch.Arch, crit model.Criterion) (*core.Result, error) {
+func thistleFixed(ctx context.Context, l workloads.Layer, a *arch.Arch, crit model.Criterion) (*core.Result, error) {
 	p, err := l.Problem()
 	if err != nil {
 		return nil, err
 	}
-	return core.Optimize(p, core.Options{Criterion: crit, Mode: core.FixedArch, Arch: a})
+	return core.OptimizeContext(ctx, p, core.Options{Criterion: crit, Mode: core.FixedArch, Arch: a})
 }
 
 // thistleCoDesign runs full architecture-dataflow co-design at the
 // Eyeriss-equal area budget.
-func thistleCoDesign(l workloads.Layer, crit model.Criterion) (*core.Result, error) {
+func thistleCoDesign(ctx context.Context, l workloads.Layer, crit model.Criterion) (*core.Result, error) {
 	p, err := l.Problem()
 	if err != nil {
 		return nil, err
 	}
-	return core.Optimize(p, core.Options{Criterion: crit, Mode: core.CoDesign})
+	return core.OptimizeContext(ctx, p, core.Options{Criterion: crit, Mode: core.CoDesign})
 }
 
 // Table2 renders the workload table.
@@ -198,17 +217,26 @@ func Fig4(cfg Config) (*Experiment, error) {
 	thistle := Series{Name: "thistle_pJ_per_MAC"}
 	mapperS := Series{Name: "mapper_pJ_per_MAC"}
 	up := Series{Name: "energy_up"}
+	ctx, span := cfg.startSpan("fig4")
+	defer span.End()
 	for _, l := range cfg.Layers {
 		cfg.progress("fig4 %s", l.Name())
-		res, err := thistleFixed(l, &eyeriss, model.MinEnergy)
+		lctx, lspan := layerSpan(ctx, l)
+		res, err := thistleFixed(lctx, l, &eyeriss, model.MinEnergy)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
 		p, err := l.Problem()
 		if err != nil {
+			lspan.End()
 			return nil, err
 		}
-		ms, err := mapper.Search(p, &eyeriss, cfg.mapperOptions(model.MinEnergy))
+		mo := cfg.mapperOptions(model.MinEnergy)
+		mo.Obs = cfg.Obs
+		mo.Span = lspan
+		ms, err := mapper.Search(p, &eyeriss, mo)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
@@ -233,13 +261,18 @@ func Fig5(cfg Config) (*Experiment, error) {
 	base := Series{Name: "eyeriss_pJ_per_MAC"}
 	codesign := Series{Name: "codesign_pJ_per_MAC"}
 	var notes []string
+	ctx, span := cfg.startSpan("fig5")
+	defer span.End()
 	for _, l := range cfg.Layers {
 		cfg.progress("fig5 %s", l.Name())
-		rb, err := thistleFixed(l, &eyeriss, model.MinEnergy)
+		lctx, lspan := layerSpan(ctx, l)
+		rb, err := thistleFixed(lctx, l, &eyeriss, model.MinEnergy)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
-		rc, err := thistleCoDesign(l, model.MinEnergy)
+		rc, err := thistleCoDesign(lctx, l, model.MinEnergy)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
@@ -259,11 +292,13 @@ func Fig5(cfg Config) (*Experiment, error) {
 
 // codesignAll runs layer-wise co-design for every layer and returns the
 // per-layer results.
-func codesignAll(cfg Config, crit model.Criterion) ([]*core.Result, error) {
+func codesignAll(ctx context.Context, cfg Config, crit model.Criterion) ([]*core.Result, error) {
 	out := make([]*core.Result, len(cfg.Layers))
 	for i, l := range cfg.Layers {
 		cfg.progress("codesign(%v) %s", crit, l.Name())
-		r, err := thistleCoDesign(l, crit)
+		lctx, lspan := layerSpan(ctx, l)
+		r, err := thistleCoDesign(lctx, l, crit)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
@@ -290,7 +325,9 @@ func dominantIndex(results []*core.Result, crit model.Criterion) int {
 func Fig6(cfg Config) (*Experiment, error) {
 	cfg = cfg.withDefaults()
 	eyeriss := arch.Eyeriss()
-	lw, err := codesignAll(cfg, model.MinEnergy)
+	ctx, span := cfg.startSpan("fig6")
+	defer span.End()
+	lw, err := codesignAll(ctx, cfg, model.MinEnergy)
 	if err != nil {
 		return nil, err
 	}
@@ -303,11 +340,14 @@ func Fig6(cfg Config) (*Experiment, error) {
 	single := Series{Name: "single_arch_pJ_per_MAC"}
 	for i, l := range cfg.Layers {
 		cfg.progress("fig6 %s", l.Name())
-		rb, err := thistleFixed(l, &eyeriss, model.MinEnergy)
+		lctx, lspan := layerSpan(ctx, l)
+		rb, err := thistleFixed(lctx, l, &eyeriss, model.MinEnergy)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
-		rf, err := thistleFixed(l, &fixed, model.MinEnergy)
+		rf, err := thistleFixed(lctx, l, &fixed, model.MinEnergy)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s single-arch: %w", l.Name(), err)
 		}
@@ -334,17 +374,26 @@ func Fig7(cfg Config) (*Experiment, error) {
 	thistle := Series{Name: "thistle_IPC"}
 	mapperS := Series{Name: "mapper_IPC"}
 	speedup := Series{Name: "speedup"}
+	ctx, span := cfg.startSpan("fig7")
+	defer span.End()
 	for _, l := range cfg.Layers {
 		cfg.progress("fig7 %s", l.Name())
-		res, err := thistleFixed(l, &eyeriss, model.MinDelay)
+		lctx, lspan := layerSpan(ctx, l)
+		res, err := thistleFixed(lctx, l, &eyeriss, model.MinDelay)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
 		p, err := l.Problem()
 		if err != nil {
+			lspan.End()
 			return nil, err
 		}
-		ms, err := mapper.Search(p, &eyeriss, cfg.mapperOptions(model.MinDelay))
+		mo := cfg.mapperOptions(model.MinDelay)
+		mo.Obs = cfg.Obs
+		mo.Span = lspan
+		ms, err := mapper.Search(p, &eyeriss, mo)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
@@ -367,7 +416,9 @@ func Fig7(cfg Config) (*Experiment, error) {
 func Fig8(cfg Config) (*Experiment, error) {
 	cfg = cfg.withDefaults()
 	eyeriss := arch.Eyeriss()
-	lw, err := codesignAll(cfg, model.MinDelay)
+	ctx, span := cfg.startSpan("fig8")
+	defer span.End()
+	lw, err := codesignAll(ctx, cfg, model.MinDelay)
 	if err != nil {
 		return nil, err
 	}
@@ -380,11 +431,14 @@ func Fig8(cfg Config) (*Experiment, error) {
 	single := Series{Name: "single_arch_IPC"}
 	for i, l := range cfg.Layers {
 		cfg.progress("fig8 %s", l.Name())
-		rb, err := thistleFixed(l, &eyeriss, model.MinDelay)
+		lctx, lspan := layerSpan(ctx, l)
+		rb, err := thistleFixed(lctx, l, &eyeriss, model.MinDelay)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
-		rf, err := thistleFixed(l, &fixed, model.MinDelay)
+		rf, err := thistleFixed(lctx, l, &fixed, model.MinDelay)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s single-arch: %w", l.Name(), err)
 		}

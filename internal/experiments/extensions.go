@@ -22,16 +22,21 @@ func ExtEDP(cfg Config) (*Experiment, error) {
 		{Name: "edp_design_EDP"},
 	}
 	crits := []model.Criterion{model.MinEnergy, model.MinDelay, model.MinEDP}
+	ctx, span := cfg.startSpan("ext_edp")
+	defer span.End()
 	for _, l := range cfg.Layers {
 		cfg.progress("ext_edp %s", l.Name())
+		lctx, lspan := layerSpan(ctx, l)
 		for ci, crit := range crits {
-			res, err := thistleFixed(l, &eyeriss, crit)
+			res, err := thistleFixed(lctx, l, &eyeriss, crit)
 			if err != nil {
+				lspan.End()
 				return nil, fmt.Errorf("%s (%v): %w", l.Name(), crit, err)
 			}
 			edp := res.Best.Report.Energy * res.Best.Report.Cycles
 			series[ci].Values = append(series[ci].Values, edp/1e12) // pJ·cycles → µJ·cycles-ish scale
 		}
+		lspan.End()
 	}
 	return &Experiment{
 		ID:     "ext_edp",
@@ -59,13 +64,18 @@ func ExtNoC(cfg Config) (*Experiment, error) {
 		{Name: "noc_pJ_per_MAC"},
 		{Name: "noc_component_pct"},
 	}
+	ctx, span := cfg.startSpan("ext_noc")
+	defer span.End()
 	for _, l := range cfg.Layers {
 		cfg.progress("ext_noc %s", l.Name())
-		rb, err := thistleFixed(l, &base, model.MinEnergy)
+		lctx, lspan := layerSpan(ctx, l)
+		rb, err := thistleFixed(lctx, l, &base, model.MinEnergy)
 		if err != nil {
+			lspan.End()
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
-		rn, err := thistleFixed(l, &noc, model.MinEnergy)
+		rn, err := thistleFixed(lctx, l, &noc, model.MinEnergy)
+		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s noc: %w", l.Name(), err)
 		}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/loopnest"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // Criterion re-exports model.Criterion for convenience.
@@ -51,6 +52,12 @@ type Options struct {
 	// Constraints pin parts of the mapping (trip counts, permutations);
 	// the search explores only the remaining freedom.
 	Constraints *Constraints
+	// Obs receives search telemetry: a span per search, per-worker
+	// progress gauges, mappings-evaluated counters, and periodic
+	// Debug-level progress logs for long runs. Nil disables it all.
+	Obs *obs.Obs
+	// Span, when tracing, parents the search span. May be nil.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -98,6 +105,15 @@ func Search(p *loopnest.Problem, a *arch.Arch, opts Options) (*Result, error) {
 		return nil, err
 	}
 
+	o := opts.Obs
+	span := o.StartSpan(opts.Span, "mapper-search")
+	if span != nil {
+		span.Annotate(obs.String("problem", p.Name), obs.Int("threads", opts.Threads))
+	}
+	trialsC := o.Counter("mapper.trials")
+	validC := o.Counter("mapper.valid")
+	improveC := o.Counter("mapper.improvements")
+
 	var (
 		mu      sync.Mutex
 		best    *model.Mapping
@@ -117,12 +133,27 @@ func Search(p *loopnest.Problem, a *arch.Arch, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(tid int) {
 			defer wg.Done()
+			// Per-worker progress gauge; nil (free) when metrics are off.
+			var progress *obs.Gauge
+			if o.MetricsEnabled() {
+				progress = o.Gauge(fmt.Sprintf("mapper.worker%02d.trials", tid))
+			}
+			log := o.Logger()
 			rng := rand.New(rand.NewSource(opts.Seed + int64(tid)*7919))
 			since := 0
 			localTrials := int64(0)
 			localValid := int64(0)
 			for trial := 0; trial < opts.MaxTrials && since < opts.Victory; trial++ {
 				localTrials++
+				trialsC.Inc()
+				progress.Set(localTrials)
+				if localTrials%4096 == 0 && log.Enabled(obs.Debug) {
+					mu.Lock()
+					bs := bestScore()
+					mu.Unlock()
+					log.Debugf("mapper worker %d: %d/%d trials, %d valid, best %.4g",
+						tid, localTrials, opts.MaxTrials, localValid, bs)
+				}
 				m := gen.random(rng)
 				rep, err := ev.Evaluate(a, m)
 				if err != nil || !rep.Valid() {
@@ -130,11 +161,13 @@ func Search(p *loopnest.Problem, a *arch.Arch, opts Options) (*Result, error) {
 					continue
 				}
 				localValid++
+				validC.Inc()
 				score := Score(opts.Criterion, rep)
 				mu.Lock()
 				if bestRep == nil || score < bestScore() {
 					best, bestRep = m, rep
 					since = 0
+					improveC.Inc()
 				} else {
 					since++
 				}
@@ -147,6 +180,14 @@ func Search(p *loopnest.Problem, a *arch.Arch, opts Options) (*Result, error) {
 		}(tid)
 	}
 	wg.Wait()
+	if span != nil {
+		span.Annotate(obs.Int64("trials", trials), obs.Int64("valid", valid))
+		span.End()
+	}
+	if o.Enabled(obs.Debug) {
+		o.Logf(obs.Debug, "mapper: %s done, %d trials, %d valid, best %.4g",
+			p.Name, trials, valid, bestScore())
+	}
 
 	if bestRep == nil {
 		return &Result{Trials: trials}, fmt.Errorf("%w after %d trials", ErrNoMapping, trials)

@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. A nil *Counter is a
+// valid disabled counter: Inc/Add cost one nil check.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n should be non-negative).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 (e.g. a worker's progress). Nil-safe.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) {
+	if g != nil {
+		g.v.Add(n)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the number of duration buckets. Bucket i covers
+// [2^i, 2^(i+1)) microseconds; bucket 0 also absorbs sub-microsecond
+// observations and the last bucket is open-ended (~1.2h and beyond
+// land in bucket 31, whose lower bound is 2^31 us ≈ 36 min).
+const histBuckets = 32
+
+// Histogram counts durations in fixed log-scale (power-of-two
+// microsecond) buckets, plus a total count and sum. Nil-safe.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	i := bits.Len64(uint64(us)) - 1 // floor(log2(us))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	return i
+}
+
+// BucketLowerBound returns the inclusive lower bound of bucket i.
+func BucketLowerBound(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration(int64(1)<<uint(i)) * time.Microsecond
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[bucketIndex(d)].Add(1)
+}
+
+// Registry holds named metrics. Lookup is mutex-guarded; hot loops
+// should hoist the returned handle and hit only the atomic ops. A nil
+// *Registry hands out nil (disabled) handles.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricValue is one counter or gauge in a snapshot.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistBucket is one non-empty histogram bucket in a snapshot.
+type HistBucket struct {
+	// LowUS is the bucket's inclusive lower bound in microseconds.
+	LowUS int64 `json:"low_us"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is one histogram in a snapshot.
+type HistogramValue struct {
+	Name    string       `json:"name"`
+	Count   int64        `json:"count"`
+	SumNS   int64        `json:"sum_ns"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Sum returns the total observed duration.
+func (h HistogramValue) Sum() time.Duration { return time.Duration(h.SumNS) }
+
+// Mean returns the mean observed duration (0 when empty).
+func (h HistogramValue) Mean() time.Duration {
+	if h.Count == 0 {
+		return 0
+	}
+	return time.Duration(h.SumNS / h.Count)
+}
+
+// Snapshot is a point-in-time copy of every metric, sorted by name.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters,omitempty"`
+	Gauges     []MetricValue    `json:"gauges,omitempty"`
+	Histograms []HistogramValue `json:"histograms,omitempty"`
+}
+
+// Snapshot copies the registry. Values written concurrently with the
+// snapshot may or may not be included (each metric is read atomically).
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters = append(s.Counters, MetricValue{Name: name, Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, MetricValue{Name: name, Value: g.Value()})
+	}
+	for name, h := range r.hists {
+		hv := HistogramValue{Name: name, Count: h.count.Load(), SumNS: h.sumNS.Load()}
+		for i := range h.buckets {
+			if n := h.buckets[i].Load(); n > 0 {
+				hv.Buckets = append(hv.Buckets, HistBucket{
+					LowUS: BucketLowerBound(i).Microseconds(), Count: n,
+				})
+			}
+		}
+		s.Histograms = append(s.Histograms, hv)
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	return s
+}
+
+// WriteTable renders the snapshot as an aligned text table.
+func (s Snapshot) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "metric\tvalue")
+	for _, c := range s.Counters {
+		fmt.Fprintf(tw, "%s\t%d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		fmt.Fprintf(tw, "%s\tcount %d, total %s, mean %s\n",
+			h.Name, h.Count, h.Sum().Round(time.Microsecond), h.Mean().Round(time.Microsecond))
+	}
+	return tw.Flush()
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

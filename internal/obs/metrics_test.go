@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		d     time.Duration
+		lowUS int64
+	}{
+		{500 * time.Nanosecond, 0},                                        // sub-microsecond -> bucket 0
+		{time.Microsecond, 0},                                             // 1us is still bucket 0 (lo 0)
+		{2 * time.Microsecond, 2},                                         // [2,4)
+		{3 * time.Microsecond, 2},                                         // [2,4)
+		{4 * time.Microsecond, 4},                                         // boundary lands in next bucket
+		{1023 * time.Microsecond, 512},                                    // [512,1024)
+		{1024 * time.Microsecond, 1024},                                   // [1024,2048)
+		{1500 * time.Microsecond, 1024},                                   // [1024,2048)
+		{2 * time.Hour, BucketLowerBound(histBuckets - 1).Microseconds()}, // clamp to last bucket
+	}
+	for _, c := range cases {
+		h := &Histogram{}
+		h.Observe(c.d)
+		r := NewRegistry()
+		// Check via a registry snapshot so the exported path is covered.
+		r.Histogram("h").Observe(c.d)
+		snap := r.Snapshot()
+		if len(snap.Histograms) != 1 || len(snap.Histograms[0].Buckets) != 1 {
+			t.Fatalf("%v: want exactly one populated bucket, got %+v", c.d, snap.Histograms)
+		}
+		b := snap.Histograms[0].Buckets[0]
+		if b.LowUS != c.lowUS || b.Count != 1 {
+			t.Fatalf("%v: landed in bucket lo=%dus (count %d), want lo=%dus", c.d, b.LowUS, b.Count, c.lowUS)
+		}
+	}
+}
+
+func TestHistogramSumMean(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("solve")
+	h.Observe(2 * time.Millisecond)
+	h.Observe(4 * time.Millisecond)
+	hv := r.Snapshot().Histograms[0]
+	if hv.Count != 2 || hv.Sum() != 6*time.Millisecond || hv.Mean() != 3*time.Millisecond {
+		t.Fatalf("count=%d sum=%v mean=%v", hv.Count, hv.Sum(), hv.Mean())
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Half the goroutines race on the registry lookup too.
+			c := r.Counter("shared")
+			for i := 0; i < perWorker; i++ {
+				if i%2 == 0 {
+					c.Inc()
+				} else {
+					r.Counter("shared").Inc()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestSnapshotSortedAndRendered(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Inc()
+	r.Gauge("w.progress").Set(7)
+	r.Histogram("h.dur").Observe(time.Millisecond)
+	s := r.Snapshot()
+	if s.Counters[0].Name != "a.count" || s.Counters[1].Name != "b.count" {
+		t.Fatalf("counters not sorted: %+v", s.Counters)
+	}
+	var sb strings.Builder
+	if err := s.WriteTable(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"a.count", "w.progress", "h.dur", "count 1"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, sb.String())
+		}
+	}
+	sb.Reset()
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"name": "w.progress"`) {
+		t.Fatalf("JSON missing gauge:\n%s", sb.String())
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for s, want := range map[string]Level{
+		"off": Off, "": Off, "warn": Warn, "INFO": Info, "debug": Debug, "trace": Trace,
+	} {
+		got, err := ParseLevel(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel should reject unknown levels")
+	}
+}
+
+func TestLoggerLevels(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, Info)
+	l.Warnf("w %d", 1)
+	l.Infof("i")
+	l.Debugf("hidden")
+	if l.Enabled(Debug) || !l.Enabled(Info) {
+		t.Fatal("Enabled levels wrong")
+	}
+	out := sb.String()
+	if !strings.Contains(out, "WARN  w 1") || !strings.Contains(out, "INFO  i") || strings.Contains(out, "hidden") {
+		t.Fatalf("log output wrong:\n%s", out)
+	}
+	l.SetLevel(Trace)
+	if !l.Enabled(Trace) {
+		t.Fatal("SetLevel did not take effect")
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import "testing"
+
+// disabledHotLoop is the exact call pattern the optimizer core, solver,
+// and mapper use on their hot paths when telemetry is off: nil handles,
+// Enabled guards before any formatting, no span attributes.
+func disabledHotLoop(o *Obs, c *Counter, g *Gauge, h *Histogram) {
+	c.Inc()
+	c.Add(3)
+	g.Set(42)
+	h.Observe(1000)
+	s := o.StartSpan(nil, "gp-solve")
+	s.SetAttr("k", 1)
+	s.End()
+	if o.Enabled(Trace) {
+		o.Logf(Trace, "never reached %d", 1)
+	}
+	if o.TracingEnabled() || o.MetricsEnabled() {
+		panic("disabled Obs claims to be enabled")
+	}
+}
+
+// TestDisabledPathDoesNotAllocate asserts the no-op fast path is
+// allocation-free, so leaving the hooks compiled into hot goroutine
+// loops costs only nil checks.
+func TestDisabledPathDoesNotAllocate(t *testing.T) {
+	var o *Obs
+	c := o.Counter("core.pairs_solved")
+	g := o.Gauge("mapper.worker00.trials")
+	h := o.Histogram("solver.solve_duration")
+	if avg := testing.AllocsPerRun(1000, func() {
+		disabledHotLoop(o, c, g, h)
+	}); avg != 0 {
+		t.Fatalf("disabled path allocates %.1f times per op, want 0", avg)
+	}
+}
+
+func BenchmarkDisabledNoOp(b *testing.B) {
+	var o *Obs
+	c := o.Counter("core.pairs_solved")
+	g := o.Gauge("mapper.worker00.trials")
+	h := o.Histogram("solver.solve_duration")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		disabledHotLoop(o, c, g, h)
+	}
+}
+
+func BenchmarkEnabledCounter(b *testing.B) {
+	o := &Obs{Metrics: NewRegistry()}
+	c := o.Counter("core.pairs_solved")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

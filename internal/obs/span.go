@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records a forest of hierarchical spans. It is safe for
+// concurrent use; spans from worker goroutines may attach children to a
+// shared parent. A nil *Tracer records nothing.
+type Tracer struct {
+	mu    sync.Mutex
+	roots []*Span
+	// now is the clock; overridable for tests.
+	now func() time.Time
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{now: time.Now} }
+
+// StartSpan opens a span under parent; a nil parent makes a root span.
+// The caller must End it.
+func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, name: name, start: t.now()}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	if parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+		return s
+	}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Span is one timed region. All methods are nil-safe so disabled
+// tracing costs a single nil check at each call site.
+type Span struct {
+	tracer *Tracer
+	name   string
+	start  time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    []Attr
+	children []*Span
+}
+
+// End stamps the span's end time. Ending twice keeps the first stamp.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = s.tracer.now()
+	}
+	s.mu.Unlock()
+}
+
+// SetAttr attaches (or appends) an attribute after span creation.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Annotate attaches several attributes at once.
+func (s *Span) Annotate(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.mu.Unlock()
+}
+
+// SpanInfo is an immutable snapshot of one recorded span.
+type SpanInfo struct {
+	Name string `json:"name"`
+	// StartUS is the span start as microseconds since the first recorded
+	// span's start.
+	StartUS int64 `json:"start_us"`
+	// DurUS is the span duration in microseconds (-1 if never ended).
+	DurUS    int64          `json:"dur_us"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+	Children []SpanInfo     `json:"children,omitempty"`
+}
+
+// Duration returns the span duration (0 if the span was never ended).
+func (si SpanInfo) Duration() time.Duration {
+	if si.DurUS < 0 {
+		return 0
+	}
+	return time.Duration(si.DurUS) * time.Microsecond
+}
+
+// Tree snapshots the recorded span forest, in start order.
+func (t *Tracer) Tree() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+	var epoch time.Time
+	if len(roots) > 0 {
+		epoch = roots[0].start
+	}
+	out := make([]SpanInfo, len(roots))
+	for i, r := range roots {
+		out[i] = r.snapshot(epoch)
+	}
+	return out
+}
+
+func (s *Span) snapshot(epoch time.Time) SpanInfo {
+	s.mu.Lock()
+	end := s.end
+	attrs := append([]Attr(nil), s.attrs...)
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	info := SpanInfo{
+		Name:    s.name,
+		StartUS: s.start.Sub(epoch).Microseconds(),
+		DurUS:   -1,
+	}
+	if !end.IsZero() {
+		info.DurUS = end.Sub(s.start).Microseconds()
+	}
+	if len(attrs) > 0 {
+		info.Attrs = make(map[string]any, len(attrs))
+		for _, a := range attrs {
+			info.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range children {
+		info.Children = append(info.Children, c.snapshot(epoch))
+	}
+	return info
+}
+
+// WriteJSON dumps the span forest as indented JSON.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	tree := t.Tree()
+	if tree == nil {
+		tree = []SpanInfo{}
+	}
+	return enc.Encode(tree)
+}
+
+// WriteTree dumps the span forest as an indented text tree with
+// durations and attributes, one span per line.
+func (t *Tracer) WriteTree(w io.Writer) {
+	for _, root := range t.Tree() {
+		writeTreeNode(w, root, 0)
+	}
+}
+
+func writeTreeNode(w io.Writer, si SpanInfo, depth int) {
+	for i := 0; i < depth; i++ {
+		fmt.Fprint(w, "  ")
+	}
+	dur := "unfinished"
+	if si.DurUS >= 0 {
+		dur = si.Duration().String()
+	}
+	fmt.Fprintf(w, "%s %s", si.Name, dur)
+	keys := make([]string, 0, len(si.Attrs))
+	for k := range si.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, " %s=%v", k, si.Attrs[k])
+	}
+	fmt.Fprintln(w)
+	for _, c := range si.Children {
+		writeTreeNode(w, c, depth+1)
+	}
+}

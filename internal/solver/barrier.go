@@ -4,13 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"os"
+	"time"
 
 	"repro/internal/linalg"
+	"repro/internal/obs"
 )
-
-// debugTrace enables stderr tracing of solver stalls.
-var debugTrace = os.Getenv("SOLVER_TRACE") != ""
 
 // Status classifies the outcome of a Solve call.
 type Status int
@@ -72,6 +70,13 @@ type Options struct {
 	// This keeps phase I bounded when the feasible set is unbounded.
 	// Default 60 (generous for log-space trip counts); negative disables.
 	Box float64
+	// Obs receives solver telemetry: phase spans, Newton-iteration and
+	// line-search-backtrack counters, and Trace-level stall diagnostics.
+	// Nil disables all of it at the cost of a few nil checks.
+	Obs *obs.Obs
+	// Span, when tracing, parents this solve's phase spans (so each GP
+	// solve nests under its caller's span). May be nil.
+	Span *obs.Span
 }
 
 func (o Options) withDefaults() Options {
@@ -113,6 +118,35 @@ type Result struct {
 // strictly feasible unless Status == Infeasible.
 func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	opts = opts.withDefaults()
+	o := opts.Obs
+	span := o.StartSpan(opts.Span, "solve")
+	opts.Span = span // parent for the phase spans
+	var t0 time.Time
+	hist := o.Histogram("solver.solve_duration")
+	if hist != nil {
+		t0 = time.Now()
+	}
+	res, err := solve(p, yHint, opts)
+	if hist != nil {
+		hist.Observe(time.Since(t0))
+	}
+	o.Counter("solver.solves").Inc()
+	o.Counter("solver.newton_iters").Add(int64(res.Newton))
+	if res.Status == Infeasible {
+		o.Counter("solver.infeasible").Inc()
+	}
+	if span != nil {
+		span.Annotate(
+			obs.Int("newton", res.Newton),
+			obs.Int("centerings", res.Centerings),
+			obs.String("status", res.Status.String()),
+		)
+		span.End()
+	}
+	return res, err
+}
+
+func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	if p.N <= 0 {
 		return Result{}, fmt.Errorf("%w: N = %d", ErrBadProblem, p.N)
 	}
@@ -178,16 +212,24 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 
 	// Phase I if the initial point is not strictly feasible.
 	if !strictlyFeasible(ineq, z, 1e-9) {
+		ph := opts.Obs.StartSpan(opts.Span, "phase-i")
+		opts.Obs.Counter("solver.phase1_runs").Inc()
 		var ok bool
 		var n int
 		z, ok, n = phaseI(ineq, z, opts)
 		totalNewton += n
+		if ph != nil {
+			ph.Annotate(obs.Int("newton", n), obs.Attr{Key: "feasible", Value: ok})
+			ph.End()
+		}
 		if !ok {
 			return Result{Status: Infeasible, Newton: totalNewton}, nil
 		}
 	}
 
 	// Phase II: barrier path following.
+	ph2 := opts.Obs.StartSpan(opts.Span, "phase-ii")
+	ph2Newton := totalNewton
 	m := len(ineq)
 	t := opts.T0
 	centerings := 0
@@ -215,6 +257,10 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 		if float64(m)/t >= opts.Tol {
 			status = Suboptimal
 		}
+	}
+	if ph2 != nil {
+		ph2.Annotate(obs.Int("newton", totalNewton-ph2Newton), obs.Int("centerings", centerings))
+		ph2.End()
 	}
 
 	y := recover(z)
@@ -345,6 +391,8 @@ func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 // unconstrained mode (then the barrier term is absent).
 func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (int, bool) {
 	n := len(z)
+	log := opts.Obs.Logger()
+	backtracks := opts.Obs.Counter("solver.linesearch_backtracks")
 	g := make([]float64, n)
 	h := linalg.NewDense(n, n)
 	gTmp := make([]float64, n)
@@ -369,8 +417,8 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 				fi = ineq[i].Value(z)
 			}
 			if fi >= 0 {
-				if needDeriv && debugTrace {
-					fmt.Fprintf(os.Stderr, "TRACE: constraint %d value %g at newton entry\n", i, fi)
+				if needDeriv && log.Enabled(obs.Trace) {
+					log.Tracef("solver: constraint %d value %g at newton entry", i, fi)
 				}
 				return math.Inf(1), false
 			}
@@ -398,8 +446,8 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 	for it := 0; it < opts.MaxNewton; it++ {
 		val, ok := eval(z, true)
 		if !ok {
-			if debugTrace {
-				fmt.Fprintf(os.Stderr, "TRACE: eval infeasible at start of newton iter %d (t=%g)\n", it, t)
+			if log.Enabled(obs.Trace) {
+				log.Tracef("solver: eval infeasible at start of newton iter %d (t=%g)", it, t)
 			}
 			return it, false // should not happen from a feasible start
 		}
@@ -431,14 +479,16 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			if tv, tok := eval(zTrial, false); tok && tv <= val-0.25*step*lambda2 {
 				copy(z, zTrial)
 				improved = true
+				backtracks.Add(int64(ls))
 				break
 			}
 			step *= 0.5
 		}
 		if !improved {
+			backtracks.Add(60)
 			// No progress possible at machine precision.
-			if debugTrace {
-				fmt.Fprintf(os.Stderr, "TRACE: line search stalled at iter %d t=%g val=%g lambda2=%g\n", it, t, val, lambda2)
+			if log.Enabled(obs.Trace) {
+				log.Tracef("solver: line search stalled at iter %d t=%g val=%g lambda2=%g", it, t, val, lambda2)
 			}
 			return it + 1, true
 		}

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh runs the repository's pre-merge gate: build, vet, the short
+# test suite, and a race-detector pass over the concurrent packages
+# (mapper worker pool, core parallel GP loop, solver hooks, obs).
+# Equivalent to `make check`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -short ./..."
+go test -short ./...
+
+echo "== go test -race (concurrent packages)"
+go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/...
+
+echo "check: ok"
