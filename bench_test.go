@@ -10,9 +10,11 @@
 package repro
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/dataflow"
 	"repro/internal/experiments"
@@ -337,6 +339,96 @@ func BenchmarkExtEDP(b *testing.B) {
 		b.ReportMetric(mean(e.Series[0].Values), "energyDesign_EDP")
 		b.ReportMetric(mean(e.Series[2].Values), "edpDesign_EDP")
 	}
+}
+
+// BenchmarkOptimizeColdCache measures a full dataflow optimization with
+// no cache in play — the baseline the warm-cache benchmark is read
+// against.
+func BenchmarkOptimizeColdCache(b *testing.B) {
+	l, _ := workloads.ByName("resnet18_L6")
+	p, err := l.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Optimize(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.FreshSolves == 0 {
+			b.Fatal("cold run reported no fresh solves")
+		}
+	}
+}
+
+// BenchmarkOptimizeWarmCache measures the same optimization served from
+// a primed solve cache: the signature computation plus a copy, no GPs.
+func BenchmarkOptimizeWarmCache(b *testing.B) {
+	l, _ := workloads.ByName("resnet18_L6")
+	p, err := l.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	sc := core.NewSolveCache(cache.Options{})
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a, Cache: sc}
+	if _, err := core.Optimize(p, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Optimize(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Stats.FromCache {
+			b.Fatal("warm run missed the cache")
+		}
+	}
+}
+
+// BenchmarkNetworkWarmCache runs a whole-network optimization (the first
+// four ResNet-18 layers) cold and then warm through the same cache,
+// demonstrating the end-to-end speedup of content-addressed reuse across
+// a full `-pipeline`-style sweep.
+func BenchmarkNetworkWarmCache(b *testing.B) {
+	layers := workloads.ResNet18()[:4]
+	a := arch.Eyeriss()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := core.Options{
+				Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a,
+				Cache: core.NewSolveCache(cache.Options{}),
+			}
+			if _, err := experiments.OptimizeLayers(context.Background(), layers, opts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		opts := core.Options{
+			Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a,
+			Cache: core.NewSolveCache(cache.Options{}),
+		}
+		if _, err := experiments.OptimizeLayers(context.Background(), layers, opts, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			results, err := experiments.OptimizeLayers(context.Background(), layers, opts, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, r := range results {
+				if !r.Stats.FromCache {
+					b.Fatal("warm network run missed the cache")
+				}
+			}
+		}
+	})
 }
 
 // BenchmarkExtNoC runs the inter-PE network-energy extension and reports

@@ -20,6 +20,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 )
@@ -41,6 +43,8 @@ func run() error {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -48,8 +52,9 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: o}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: o, Cache: sc}
 	runners := experiments.AllRunners()
 
 	var ids []string
@@ -91,6 +96,9 @@ func run() error {
 				return err
 			}
 		}
+	}
+	if cacheFlags.ShowStats {
+		sc.WriteStats(os.Stdout)
 	}
 	return obsFlags.Finish(os.Stdout)
 }

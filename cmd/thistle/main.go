@@ -23,8 +23,10 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/codegen"
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/loopnest"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -64,6 +66,8 @@ func run() error {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -71,7 +75,9 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
 	ctx := obs.NewContext(context.Background(), o)
+	ctx = core.ContextWithCache(ctx, sc)
 
 	var prob *loopnest.Problem
 	if *pipeline == "" {
@@ -123,6 +129,9 @@ func run() error {
 		if err := runPipeline(ctx, *pipeline, opts); err != nil {
 			return err
 		}
+		if cacheFlags.ShowStats {
+			sc.WriteStats(os.Stdout)
+		}
 		return obsFlags.Finish(os.Stdout)
 	}
 
@@ -142,8 +151,12 @@ func run() error {
 		dp.Report.Cycles, dp.Report.IPC, dp.Report.PEsUsed, 100*dp.Report.Utilization)
 	fmt.Printf("footprints:   %.0f register words/PE, %.0f SRAM words\n",
 		dp.Report.RegFootprint, dp.Report.SRAMFootprint)
-	fmt.Printf("search:       %d x %d permutation classes, %d GPs solved, %d integer candidates\n",
-		res.Stats.ClassesL1, res.Stats.ClassesSRAM, res.Stats.PairsSolved, res.Stats.Candidates)
+	cached := ""
+	if res.Stats.FromCache {
+		cached = " (served from cache, 0 solved this run)"
+	}
+	fmt.Printf("search:       %d x %d permutation classes, %d GPs solved, %d integer candidates%s\n",
+		res.Stats.ClassesL1, res.Stats.ClassesSRAM, res.Stats.PairsSolved, res.Stats.Candidates, cached)
 
 	if *emitSpecs {
 		nest, err := core.NestFor(prob, dp)
@@ -169,11 +182,15 @@ func run() error {
 		fmt.Println("--- tiled loop nest ---")
 		fmt.Print(code)
 	}
+	if cacheFlags.ShowStats {
+		sc.WriteStats(os.Stdout)
+	}
 	return obsFlags.Finish(os.Stdout)
 }
 
 // runPipeline optimizes every layer of a pipeline and prints one TSV row
-// per layer plus totals.
+// per layer plus totals. Layers that share a solve signature (same shape,
+// arch, and options) are solved once and fan out.
 func runPipeline(ctx context.Context, name string, opts core.Options) error {
 	var layers []workloads.Layer
 	switch name {
@@ -186,24 +203,20 @@ func runPipeline(ctx context.Context, name string, opts core.Options) error {
 	default:
 		return fmt.Errorf("unknown pipeline %q (resnet18 | yolo9000 | all)", name)
 	}
+	results, err := experiments.OptimizeLayers(ctx, layers, opts, nil)
+	if err != nil {
+		return err
+	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "layer\tMMACs\tpJ/MAC\tcycles\tIPC\tP\tR\tS(words)")
 	var totalEnergy, totalCycles float64
-	for _, l := range layers {
-		p, err := l.Problem()
-		if err != nil {
-			return err
-		}
-		res, err := core.OptimizeContext(ctx, p, opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", l.Name(), err)
-		}
-		rep := res.Best.Report
+	for i, l := range layers {
+		rep := results[i].Best.Report
 		totalEnergy += rep.Energy
 		totalCycles += rep.Cycles
 		fmt.Fprintf(w, "%s\t%.1f\t%.3f\t%.4g\t%.1f\t%d\t%d\t%d\n",
 			l.Name(), float64(l.MACs())/1e6, rep.EnergyPerMAC, rep.Cycles, rep.IPC,
-			res.Best.Arch.PEs, res.Best.Arch.Regs, res.Best.Arch.SRAM)
+			results[i].Best.Arch.PEs, results[i].Best.Arch.Regs, results[i].Best.Arch.SRAM)
 	}
 	if err := w.Flush(); err != nil {
 		return err

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/dataflow"
 	"repro/internal/loopnest"
 	"repro/internal/mapper"
@@ -47,6 +48,8 @@ func run() error {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -54,6 +57,7 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	mc := cache.Setup[*mapper.Result](&cacheFlags, "mapper", o)
 
 	var prob *loopnest.Problem
 	switch {
@@ -101,11 +105,13 @@ func run() error {
 	}
 
 	opts := mapper.Options{Threads: *threads, MaxTrials: *trials, Victory: *victory, Seed: *seed, Obs: o}
+	var consText string
 	if *consFile != "" {
 		text, err := os.ReadFile(*consFile)
 		if err != nil {
 			return err
 		}
+		consText = string(text)
 		node, err := yamlite.Parse(string(text))
 		if err != nil {
 			return err
@@ -131,13 +137,36 @@ func run() error {
 		return fmt.Errorf("unknown criterion %q", *criterion)
 	}
 
-	res, err := mapper.Search(prob, &a, opts)
+	// The randomized search is fully determined by (problem, arch,
+	// criterion, budgets, seed, constraints), so those all feed the
+	// cache signature — unlike core's cache, thread count matters here
+	// because each thread owns a seeded RNG stream.
+	sig := cache.Key{
+		Component: "mapper",
+		Problem:   prob,
+		Arch:      &a,
+		Criterion: opts.Criterion,
+		Params: []cache.Param{
+			cache.ParamInt("threads", int64(*threads)),
+			cache.ParamInt("trials", int64(*trials)),
+			cache.ParamInt("victory", int64(*victory)),
+			cache.ParamInt("seed", *seed),
+			cache.ParamString("constraints", consText),
+		},
+	}.Signature()
+	res, hit, err := mc.Do(sig, func() (*mapper.Result, error) {
+		return mapper.Search(prob, &a, opts)
+	})
 	if err != nil {
 		return err
 	}
+	cached := ""
+	if hit {
+		cached = " (cached)"
+	}
 	fmt.Printf("problem:      %s (%d MACs)\n", prob.Name, res.Report.Ops)
 	fmt.Printf("architecture: %s\n", a.String())
-	fmt.Printf("trials:       %d total, %d valid\n", res.Trials, res.Valid)
+	fmt.Printf("trials:       %d total, %d valid%s\n", res.Trials, res.Valid, cached)
 	fmt.Printf("best energy:  %.3f pJ/MAC (%.4g pJ)\n", res.Report.EnergyPerMAC, res.Report.Energy)
 	fmt.Printf("best delay:   %.4g cycles (IPC %.2f, %d PEs)\n", res.Report.Cycles, res.Report.IPC, res.Report.PEsUsed)
 
@@ -152,6 +181,9 @@ func run() error {
 		}
 		fmt.Println("--- mapping ---")
 		fmt.Print(yamlite.Encode(node))
+	}
+	if cacheFlags.ShowStats {
+		mc.WriteStats(os.Stdout)
 	}
 	return obsFlags.Finish(os.Stdout)
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/dataflow"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -40,6 +41,8 @@ func run() error {
 	)
 	var obsFlags obs.Flags
 	obsFlags.Register(flag.CommandLine)
+	var cacheFlags cache.Flags
+	cacheFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -47,27 +50,30 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	rc := cache.Setup[*model.Report](&cacheFlags, "model", o)
 
 	parseSpan := o.StartSpan(nil, "parse-specs")
 	var probNode, archNode, mapNode *yamlite.Node
+	var probText, archText, mapText string
 	if *bundle != "" {
-		root, err := parseFile(*bundle)
+		root, text, err := parseFile(*bundle)
 		if err != nil {
 			return err
 		}
 		probNode, archNode, mapNode = root, root, root
+		probText, archText, mapText = text, text, text
 	} else {
 		if *probFile == "" || *archFile == "" || *mapFile == "" {
 			return fmt.Errorf("specify -bundle or all of -problem/-arch/-mapping")
 		}
 		var err error
-		if probNode, err = parseFile(*probFile); err != nil {
+		if probNode, probText, err = parseFile(*probFile); err != nil {
 			return err
 		}
-		if archNode, err = parseFile(*archFile); err != nil {
+		if archNode, archText, err = parseFile(*archFile); err != nil {
 			return err
 		}
-		if mapNode, err = parseFile(*mapFile); err != nil {
+		if mapNode, mapText, err = parseFile(*mapFile); err != nil {
 			return err
 		}
 	}
@@ -94,11 +100,27 @@ func run() error {
 	if evalSpan != nil {
 		evalSpan.Annotate(obs.String("problem", prob.Name))
 	}
-	ev := model.NewEvaluator(nest)
-	rep, err := ev.Evaluate(&a, m)
+	// The report is a pure function of the three specs, so their raw
+	// text is the cache key (whitespace-sensitive by design: any edit
+	// to the inputs invalidates).
+	sig := cache.Key{
+		Component: "model",
+		Params: []cache.Param{
+			cache.ParamString("problem", probText),
+			cache.ParamString("arch", archText),
+			cache.ParamString("mapping", mapText),
+		},
+	}.Signature()
+	rep, hit, err := rc.Do(sig, func() (*model.Report, error) {
+		ev := model.NewEvaluator(nest)
+		return ev.Evaluate(&a, m)
+	})
 	evalSpan.End()
 	if err != nil {
 		return err
+	}
+	if hit && o.Enabled(obs.Info) {
+		o.Logf(obs.Info, "report served from cache (%s)", sig.Short())
 	}
 	fmt.Printf("problem:       %s (%d MACs)\n", prob.Name, rep.Ops)
 	fmt.Printf("architecture:  %s\n", a.String())
@@ -111,6 +133,9 @@ func run() error {
 	fmt.Printf("PEs used:      %d (%.0f%% utilization)\n", rep.PEsUsed, 100*rep.Utilization)
 	fmt.Printf("traffic:       %.4g words S<->R, %.4g words D<->S\n", rep.TrafficSR, rep.TrafficDS)
 	fmt.Printf("footprints:    %.0f register words/PE, %.0f SRAM words\n", rep.RegFootprint, rep.SRAMFootprint)
+	if cacheFlags.ShowStats {
+		rc.WriteStats(os.Stdout)
+	}
 	if rep.Valid() {
 		fmt.Println("constraints:   ok")
 		return obsFlags.Finish(os.Stdout)
@@ -126,10 +151,11 @@ func run() error {
 	return nil
 }
 
-func parseFile(path string) (*yamlite.Node, error) {
+func parseFile(path string) (*yamlite.Node, string, error) {
 	text, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return yamlite.Parse(string(text))
+	node, err := yamlite.Parse(string(text))
+	return node, string(text), err
 }

@@ -1,0 +1,46 @@
+package cache
+
+import (
+	"flag"
+
+	"repro/internal/obs"
+)
+
+// Flags bundles the caching command-line flags shared by every CLI of
+// the reproduction (-cache, -cache-dir, -cache-stats, -cache-size).
+// Typical use:
+//
+//	var cf cache.Flags
+//	cf.Register(flag.CommandLine)
+//	flag.Parse()
+//	c := cache.Setup[*core.Result](&cf, "optimize", o) // nil: caching off
+//	... thread c through the run ...
+//	if cf.ShowStats {
+//		c.WriteStats(os.Stdout)
+//	}
+type Flags struct {
+	Enabled   bool
+	Dir       string
+	ShowStats bool
+	Capacity  int
+}
+
+// Register installs the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.BoolVar(&f.Enabled, "cache", false, "memoize solve results in a content-addressed in-memory cache")
+	fs.StringVar(&f.Dir, "cache-dir", "", "persist cache entries as JSON records in this directory (implies -cache)")
+	fs.BoolVar(&f.ShowStats, "cache-stats", false, "print cache hit/miss statistics on exit (implies -cache)")
+	fs.IntVar(&f.Capacity, "cache-size", 0, "max in-memory cache entries (default 1024)")
+}
+
+// On reports whether any flag requested caching.
+func (f *Flags) On() bool { return f.Enabled || f.Dir != "" || f.ShowStats }
+
+// Setup builds the cache selected by the flags, or nil (a valid,
+// pass-through cache handle) when caching is off.
+func Setup[V any](f *Flags, component string, o *obs.Obs) *Cache[V] {
+	if !f.On() {
+		return nil
+	}
+	return New[V](Options{Capacity: f.Capacity, Dir: f.Dir, Component: component, Obs: o})
+}

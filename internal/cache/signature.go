@@ -1,0 +1,247 @@
+// Package cache is the content-addressed memoization layer of the
+// reproduction. Thistle's cost is dominated by re-solving near-identical
+// geometric programs: CNNs repeat layer shapes across stages, and the
+// experiment sweeps (Tables II–III, Figs. 4–8) formulate and barrier-solve
+// the same (workload shape × architecture × options) problem dozens of
+// times. This package hashes the semantic content of an optimization
+// request into a stable Signature and memoizes the solved result in a
+// concurrency-safe in-memory LRU with single-flight deduplication and an
+// optional on-disk persistent tier of schema-versioned JSON records.
+//
+// The signature is computed over a canonical form of the inputs, so
+// representational differences that cannot affect the optimization
+// result — problem and tensor names, tensor order, subscript-term
+// order — hash equal, while every semantic change (an extent, a stride,
+// a read-write flag, a technology constant, a solver tolerance) hashes
+// different. Iterator names are ignored except for the convolution
+// kernel role: iterators named "r" or "s" are treated specially by the
+// dataflow construction (they stay untiled), so that role is part of
+// the hash.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/arch"
+	"repro/internal/dataflow"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+)
+
+// SchemaVersion tags the cache record format. It is mixed into every
+// signature and written into every on-disk record, so any change to the
+// canonical encoding or to the cached value types invalidates old
+// entries instead of deserializing them wrongly.
+const SchemaVersion = "thistle-cache-v1"
+
+// Signature is the content hash of one optimization request.
+type Signature [sha256.Size]byte
+
+// String renders the signature as lowercase hex.
+func (s Signature) String() string { return hex.EncodeToString(s[:]) }
+
+// Short returns a 12-hex-digit prefix for logs and span attributes.
+func (s Signature) Short() string { return s.String()[:12] }
+
+// Param is one named scalar option folded into a signature. Values are
+// pre-rendered strings (use the Param* constructors for exact numeric
+// round-trips); callers must supply params in a deterministic order.
+type Param struct {
+	Name  string
+	Value string
+}
+
+// ParamString builds a string-valued param.
+func ParamString(name, v string) Param { return Param{Name: name, Value: v} }
+
+// ParamInt builds an integer-valued param.
+func ParamInt(name string, v int64) Param {
+	return Param{Name: name, Value: strconv.FormatInt(v, 10)}
+}
+
+// ParamFloat builds a float-valued param with an exact round-trip
+// rendering.
+func ParamFloat(name string, v float64) Param {
+	return Param{Name: name, Value: strconv.FormatFloat(v, 'g', -1, 64)}
+}
+
+// ParamBool builds a boolean-valued param.
+func ParamBool(name string, v bool) Param {
+	return Param{Name: name, Value: strconv.FormatBool(v)}
+}
+
+// Key collects everything that determines an optimization result. The
+// typed fields cover the inputs shared by every consumer (the problem,
+// the architecture, the criterion, the nest structure); component-
+// specific options travel as ordered Params. Telemetry handles and
+// worker counts must not be included: they cannot change the result.
+type Key struct {
+	// Component namespaces signatures per consumer ("optimize",
+	// "mapper", "model"), so different result types never collide.
+	Component string
+	// Problem is hashed in canonical form (see package comment). May be
+	// nil when the component does not solve a loop-nest problem.
+	Problem *loopnest.Problem
+	// Arch is hashed without its Name; all technology constants are
+	// included. May be nil.
+	Arch *arch.Arch
+	// Criterion is the optimization objective.
+	Criterion model.Criterion
+	// Nest is the tiling-structure configuration.
+	Nest dataflow.StandardOptions
+	// RSPlacements lists the kernel-loop placements to try (nil means
+	// the caller's automatic choice, which is a function of the problem
+	// and therefore safe to hash as empty).
+	RSPlacements []dataflow.RSPlacement
+	// Params carries the remaining options in caller-defined order.
+	Params []Param
+}
+
+// Signature computes the content hash of the key.
+func (k Key) Signature() Signature {
+	h := hasher{h: sha256.New()}
+	h.str("schema", SchemaVersion)
+	h.str("component", k.Component)
+	h.problem(k.Problem)
+	h.arch(k.Arch)
+	h.i64("criterion", int64(k.Criterion))
+	h.i64("nest.rs", int64(k.Nest.RS))
+	h.i64("nest.untiled_max", k.Nest.UntiledMax)
+	h.bool("nest.reduction_multicast", k.Nest.ReductionMulticast)
+	h.i64("rs_placements", int64(len(k.RSPlacements)))
+	for _, rs := range k.RSPlacements {
+		h.i64("rs", int64(rs))
+	}
+	h.i64("params", int64(len(k.Params)))
+	for _, p := range k.Params {
+		h.str("param."+p.Name, p.Value)
+	}
+	var sig Signature
+	h.h.Sum(sig[:0])
+	return sig
+}
+
+// hasher writes length-delimited, field-tagged values into a hash so
+// adjacent fields can never be confused for one another.
+type hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w *hasher) raw(b []byte) {
+	binary.BigEndian.PutUint64(w.buf[:], uint64(len(b)))
+	w.h.Write(w.buf[:])
+	w.h.Write(b)
+}
+
+func (w *hasher) str(tag, v string) {
+	w.raw([]byte(tag))
+	w.raw([]byte(v))
+}
+
+func (w *hasher) i64(tag string, v int64) {
+	w.raw([]byte(tag))
+	binary.BigEndian.PutUint64(w.buf[:], uint64(v))
+	w.h.Write(w.buf[:])
+}
+
+func (w *hasher) f64(tag string, v float64) {
+	w.raw([]byte(tag))
+	binary.BigEndian.PutUint64(w.buf[:], math.Float64bits(v))
+	w.h.Write(w.buf[:])
+}
+
+func (w *hasher) bool(tag string, v bool) {
+	if v {
+		w.i64(tag, 1)
+	} else {
+		w.i64(tag, 0)
+	}
+}
+
+// problem hashes the canonical form of a loop-nest problem. The
+// problem's name and its tensors' names are dropped; tensors, their
+// dims, and the terms within each dim are sorted into a canonical
+// order (none of these orders can affect data volumes, and the cached
+// mapping references iterators only, never tensors). Iterator order
+// and extents are preserved — mapping trip counts and permutations are
+// indexed by iterator position — and each iterator contributes its
+// kernel role ("r"/"s" iterators stay untiled in the standard nest)
+// instead of its name.
+func (w *hasher) problem(p *loopnest.Problem) {
+	if p == nil {
+		w.str("problem", "<nil>")
+		return
+	}
+	w.i64("iters", int64(len(p.Iters)))
+	for _, it := range p.Iters {
+		role := ""
+		if it.Name == "r" || it.Name == "s" {
+			role = it.Name
+		}
+		w.str("iter.role", role)
+		w.i64("iter.extent", it.Extent)
+	}
+	encs := make([]string, len(p.Tensors))
+	for i, t := range p.Tensors {
+		encs[i] = canonicalTensor(t)
+	}
+	sort.Strings(encs)
+	w.i64("tensors", int64(len(encs)))
+	for _, e := range encs {
+		w.str("tensor", e)
+	}
+}
+
+// canonicalTensor renders one tensor as an order-independent string:
+// the read-write flag plus its subscripts, with terms sorted within
+// each dim and dims sorted within the tensor.
+func canonicalTensor(t loopnest.Tensor) string {
+	dims := make([]string, len(t.Dims))
+	for i, d := range t.Dims {
+		terms := make([]string, len(d.Terms))
+		for j, tm := range d.Terms {
+			terms[j] = fmt.Sprintf("%d*%d", tm.Iter, tm.Stride)
+		}
+		sort.Strings(terms)
+		dims[i] = strings.Join(terms, "+")
+	}
+	sort.Strings(dims)
+	flag := "ro"
+	if t.ReadWrite {
+		flag = "rw"
+	}
+	return flag + ":" + strings.Join(dims, "|")
+}
+
+// arch hashes an architecture configuration without its display name.
+func (w *hasher) arch(a *arch.Arch) {
+	if a == nil {
+		w.str("arch", "<nil>")
+		return
+	}
+	w.i64("arch.pes", a.PEs)
+	w.i64("arch.regs", a.Regs)
+	w.i64("arch.sram", a.SRAM)
+	t := a.Tech
+	w.f64("tech.area_mac", t.AreaMAC)
+	w.f64("tech.area_register", t.AreaRegister)
+	w.f64("tech.area_sram_word", t.AreaSRAMWord)
+	w.f64("tech.energy_mac", t.EnergyMAC)
+	w.f64("tech.sigma_r", t.SigmaR)
+	w.f64("tech.sigma_s", t.SigmaS)
+	w.f64("tech.energy_dram", t.EnergyDRAM)
+	w.f64("tech.energy_noc_hop", t.EnergyNoCHop)
+	w.f64("tech.bw_dram", t.BWDRAM)
+	w.f64("tech.bw_sram", t.BWSRAM)
+	w.f64("tech.bw_reg", t.BWReg)
+	w.i64("tech.word_bits", int64(t.WordBits))
+}

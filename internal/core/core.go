@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/dataflow"
 	"repro/internal/loopnest"
 	"repro/internal/model"
@@ -62,6 +64,14 @@ type Options struct {
 	// DisablePruning turns off hoist-prefix/symmetry class dedup and
 	// enumerates raw permutations (for the pruning ablation).
 	DisablePruning bool
+	// Cache, when non-nil, memoizes whole Optimize results by content
+	// signature (see SolveSignature): a repeated (problem shape ×
+	// architecture × options) request returns the cached design point
+	// without formulating or solving anything, and concurrent requests
+	// for the same signature collapse onto a single solve. A cache
+	// attached to the context via ContextWithCache is used when this
+	// field is nil.
+	Cache *SolveCache
 }
 
 func (o Options) withDefaults() Options {
@@ -119,14 +129,29 @@ type DesignPoint struct {
 	GPObjective float64
 }
 
-// Stats summarizes the search effort.
+// Stats summarizes the search effort. PairsSolved, Candidates, and the
+// related counters always describe the search that produced the
+// returned design — even when that search happened in an earlier run
+// and the result was served from a SolveCache. FreshSolves and
+// FromCache describe what this invocation actually did, so cached runs
+// never report a misleading "0 GPs solved" (nor pretend to have solved
+// GPs they reused).
 type Stats struct {
 	ClassesL1, ClassesSRAM int
-	PairsSolved            int
-	Infeasible             int
-	Suboptimal             int
-	Candidates             int
-	NewtonIters            int
+	// PairsSolved is the total number of permutation-pair GPs behind
+	// the returned design (deduplicated search effort).
+	PairsSolved int
+	Infeasible  int
+	Suboptimal  int
+	Candidates  int
+	NewtonIters int
+	// FreshSolves is the number of GPs this invocation solved itself:
+	// equal to PairsSolved on a cache miss (or with caching off), 0
+	// when the result came from the solve cache.
+	FreshSolves int
+	// FromCache marks a result served from a SolveCache. The Best
+	// design point is shared with the cache — treat it as immutable.
+	FromCache bool
 }
 
 // Result is the outcome of an Optimize run.
@@ -148,18 +173,58 @@ func Optimize(p *loopnest.Problem, opts Options) (*Result, error) {
 	return OptimizeContext(context.Background(), p, opts)
 }
 
-// OptimizeContext is Optimize with telemetry: when ctx carries an obs
-// bundle (obs.NewContext), the run records a span tree (per RS
-// placement, per permutation-pair GP solve with its formulate and
-// phase-I/II children, integerization and model evaluation), search
+// OptimizeContext is Optimize with telemetry and caching: when ctx
+// carries an obs bundle (obs.NewContext), the run records a span tree
+// (per RS placement, per permutation-pair GP solve with its formulate
+// and phase-I/II children, integerization and model evaluation), search
 // counters, and leveled progress logs. A bare context makes every hook
-// a nil no-op.
+// a nil no-op. When a SolveCache is configured (Options.Cache or
+// ContextWithCache), the run is memoized by content signature and a
+// repeated request short-circuits before class enumeration and GP
+// formulation; see SolveSignature for what the signature covers.
 func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	o := obs.FromContext(ctx)
 	ctx, span := obs.StartSpan(ctx, "optimize",
 		obs.String("problem", p.Name), obs.String("mode", opts.Mode.String()))
 	defer span.End()
+	sc := opts.Cache
+	if sc == nil {
+		sc = CacheFromContext(ctx)
+	}
+	if sc == nil {
+		return optimizePlacements(ctx, p, opts, o)
+	}
+	sig := solveKey(p, opts).Signature()
+	span.Annotate(obs.String("cache_sig", sig.Short()))
+	res, hit, err := sc.Do(sig, func() (*Result, error) {
+		return optimizePlacements(ctx, p, opts, o)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !hit {
+		span.SetAttr("cache", "miss")
+		return res, nil
+	}
+	span.SetAttr("cache", "hit")
+	if o.Enabled(obs.Info) {
+		o.Logf(obs.Info, "optimize %s: served from cache (sig %s, %d GPs reused)",
+			p.Name, sig.Short(), res.Stats.PairsSolved)
+	}
+	// Hand back a copy of the Result shell so the caller sees this
+	// invocation's effort (zero fresh solves) without mutating the
+	// cached entry; the design point itself is shared and immutable.
+	out := *res
+	out.Stats.FreshSolves = 0
+	out.Stats.FromCache = true
+	return &out, nil
+}
+
+// optimizePlacements runs the uncached flow: one optimizeOne pass per
+// configured RS placement, keeping the best design and accumulating
+// search-effort stats across placements.
+func optimizePlacements(ctx context.Context, p *loopnest.Problem, opts Options, o *obs.Obs) (*Result, error) {
 	placements := opts.RSPlacements
 	if placements == nil {
 		placements = []dataflow.RSPlacement{dataflow.RSAtRegister}
@@ -213,6 +278,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	if best == nil {
 		return nil, firstErr
 	}
+	combined.FreshSolves = combined.PairsSolved
 	best.Stats = combined
 	if o.Enabled(obs.Info) {
 		o.Logf(obs.Info, "optimize %s: done, %d GPs solved (%d newton iters), %d integer candidates",
@@ -410,7 +476,19 @@ func optimizeOne(ctx context.Context, p *loopnest.Problem, opts Options) (*Resul
 	}
 
 	// Integerize the best few class pairs and evaluate with the model.
-	sort.Slice(solved, func(i, j int) bool { return solved[i].objective < solved[j].objective })
+	// Ties on the objective are broken by permutation order so the
+	// selected top set — and therefore the final design — is identical
+	// across runs regardless of worker completion order (cached and
+	// uncached runs must produce byte-identical results).
+	sort.Slice(solved, func(i, j int) bool {
+		if solved[i].objective != solved[j].objective {
+			return solved[i].objective < solved[j].objective
+		}
+		if c := slices.Compare(solved[i].permL1, solved[j].permL1); c != 0 {
+			return c < 0
+		}
+		return slices.Compare(solved[i].permSRAM, solved[j].permSRAM) < 0
+	})
 	top := opts.TopClasses
 	if top > len(solved) {
 		top = len(solved)
@@ -560,4 +638,82 @@ func EvaluateOn(p *loopnest.Problem, a *arch.Arch, dp *DesignPoint) (*model.Repo
 // export or inspection).
 func NestFor(p *loopnest.Problem, dp *DesignPoint) (*dataflow.Nest, error) {
 	return dataflow.StandardNest(p, dp.NestOptions)
+}
+
+// SolveCache memoizes complete Optimize results keyed by content
+// signature. Share one across layers, experiments, and runs (via the
+// persistent tier) to deduplicate repeated solves: CNNs reuse a handful
+// of layer shapes, so whole-network sweeps hit the cache heavily.
+type SolveCache = cache.Cache[*Result]
+
+// NewSolveCache builds a solve cache; see cache.Options for the
+// capacity, persistence, and telemetry knobs.
+func NewSolveCache(opts cache.Options) *SolveCache {
+	if opts.Component == "" {
+		opts.Component = "optimize"
+	}
+	return cache.New[*Result](opts)
+}
+
+type cacheCtxKey struct{}
+
+// ContextWithCache attaches a solve cache to the context, where
+// OptimizeContext finds it when Options.Cache is nil. A nil cache
+// returns the context unchanged.
+func ContextWithCache(ctx context.Context, c *SolveCache) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, cacheCtxKey{}, c)
+}
+
+// CacheFromContext returns the attached solve cache, or nil.
+func CacheFromContext(ctx context.Context) *SolveCache {
+	c, _ := ctx.Value(cacheCtxKey{}).(*SolveCache)
+	return c
+}
+
+// SolveSignature returns the content signature OptimizeContext memoizes
+// under: a stable hash of the canonicalized problem (shape and kernel
+// roles, not names), the architecture's configuration and technology
+// constants (not its name), and every result-affecting option —
+// criterion, mode, area budget, integerization widths, candidate caps,
+// nest structure, RS placements, pruning ablation, and solver
+// tolerances. Worker counts and telemetry handles are excluded: they
+// cannot change the result. Options are resolved to their defaults
+// first, so an explicit default and a zero value hash equal. Callers
+// use it to group problems that a shared cache would deduplicate.
+func SolveSignature(p *loopnest.Problem, opts Options) cache.Signature {
+	return solveKey(p, opts.withDefaults()).Signature()
+}
+
+// solveKey flattens resolved options into a cache key. opts must
+// already have defaults applied.
+func solveKey(p *loopnest.Problem, opts Options) cache.Key {
+	s := opts.Solver
+	return cache.Key{
+		Component:    "optimize",
+		Problem:      p,
+		Arch:         opts.Arch,
+		Criterion:    opts.Criterion,
+		Nest:         opts.Nest,
+		RSPlacements: opts.RSPlacements,
+		Params: []cache.Param{
+			cache.ParamString("mode", opts.Mode.String()),
+			cache.ParamFloat("area_budget", opts.AreaBudget),
+			cache.ParamInt("ndiv", int64(opts.NDiv)),
+			cache.ParamInt("npow2", int64(opts.NPow2)),
+			cache.ParamFloat("min_utilization", opts.MinUtilization),
+			cache.ParamInt("max_candidates", int64(opts.MaxCandidates)),
+			cache.ParamInt("top_classes", int64(opts.TopClasses)),
+			cache.ParamBool("disable_pruning", opts.DisablePruning),
+			cache.ParamFloat("solver.tol", s.Tol),
+			cache.ParamFloat("solver.newton_tol", s.NewtonTol),
+			cache.ParamFloat("solver.mu", s.Mu),
+			cache.ParamFloat("solver.t0", s.T0),
+			cache.ParamInt("solver.max_newton", int64(s.MaxNewton)),
+			cache.ParamInt("solver.max_centering", int64(s.MaxCentering)),
+			cache.ParamFloat("solver.box", s.Box),
+		},
+	}
 }

@@ -33,6 +33,7 @@ const (
 	CoDesign
 )
 
+// String returns the CLI spelling of the mode ("fixed" or "codesign").
 func (m Mode) String() string {
 	if m == CoDesign {
 		return "codesign"

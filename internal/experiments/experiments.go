@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"repro/internal/arch"
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/mapper"
 	"repro/internal/model"
@@ -35,6 +36,13 @@ type Config struct {
 	// mapper sub-runs), plus the core/solver/mapper counters. Nil
 	// disables it.
 	Obs *obs.Obs
+	// Cache memoizes Thistle solves by content signature across layers
+	// and experiments. The paper's sweeps re-solve the same (shape ×
+	// architecture × criterion) problem repeatedly — Figs. 4, 5, and 6
+	// all need the energy-optimal Eyeriss dataflow of every layer, for
+	// example — so one shared cache removes most of the duplicate GP
+	// work. Nil disables memoization.
+	Cache *core.SolveCache
 }
 
 func (c Config) withDefaults() Config {
@@ -75,9 +83,11 @@ func (c Config) progress(format string, args ...interface{}) {
 }
 
 // startSpan opens the root span of one experiment, returning a context
-// that carries the telemetry bundle for the per-layer sub-runs.
+// that carries the telemetry bundle and the solve cache for the
+// per-layer sub-runs.
 func (c Config) startSpan(id string) (context.Context, *obs.Span) {
 	ctx := obs.NewContext(context.Background(), c.Obs)
+	ctx = core.ContextWithCache(ctx, c.Cache)
 	return obs.StartSpan(ctx, "experiment", obs.String("id", id))
 }
 
@@ -290,21 +300,58 @@ func Fig5(cfg Config) (*Experiment, error) {
 	}, nil
 }
 
-// codesignAll runs layer-wise co-design for every layer and returns the
-// per-layer results.
-func codesignAll(ctx context.Context, cfg Config, crit model.Criterion) ([]*core.Result, error) {
-	out := make([]*core.Result, len(cfg.Layers))
-	for i, l := range cfg.Layers {
-		cfg.progress("codesign(%v) %s", crit, l.Name())
+// OptimizeLayers runs the Thistle flow for every layer with shared
+// options, deduplicating across layers: layers whose problems share a
+// solve signature (same shape, same options — see core.SolveSignature)
+// are grouped, each group is solved exactly once, and the group's
+// result is fanned back out to every member. The returned slice is
+// index-aligned with layers; deduplicated entries share one *Result
+// (treat them as immutable). A solve cache on the context additionally
+// memoizes groups across separate OptimizeLayers calls and process
+// restarts. The dedup count is recorded on the obs counter
+// "experiments.layers_deduped".
+func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Options, progress func(workloads.Layer)) ([]*core.Result, error) {
+	o := obs.FromContext(ctx)
+	results := make([]*core.Result, len(layers))
+	first := make(map[cache.Signature]int, len(layers))
+	deduped := 0
+	for i, l := range layers {
+		p, err := l.Problem()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", l.Name(), err)
+		}
+		sig := core.SolveSignature(p, opts)
+		if j, ok := first[sig]; ok {
+			results[i] = results[j]
+			deduped++
+			continue
+		}
+		if progress != nil {
+			progress(l)
+		}
 		lctx, lspan := layerSpan(ctx, l)
-		r, err := thistleCoDesign(lctx, l, crit)
+		r, err := core.OptimizeContext(lctx, p, opts)
 		lspan.End()
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
-		out[i] = r
+		first[sig] = i
+		results[i] = r
 	}
-	return out, nil
+	if deduped > 0 {
+		o.Counter("experiments.layers_deduped").Add(int64(deduped))
+		if o.Enabled(obs.Info) {
+			o.Logf(obs.Info, "dedup: %d of %d layers shared a solve signature", deduped, len(layers))
+		}
+	}
+	return results, nil
+}
+
+// codesignAll runs layer-wise co-design for every layer and returns the
+// per-layer results, solving each distinct layer shape once.
+func codesignAll(ctx context.Context, cfg Config, crit model.Criterion) ([]*core.Result, error) {
+	return OptimizeLayers(ctx, cfg.Layers, core.Options{Criterion: crit, Mode: core.CoDesign},
+		func(l workloads.Layer) { cfg.progress("codesign(%v) %s", crit, l.Name()) })
 }
 
 // dominantIndex returns the layer index whose layer-wise design has the

@@ -1,11 +1,20 @@
 #!/bin/sh
-# check.sh runs the repository's pre-merge gate: build, vet, the short
-# test suite, and a race-detector pass over the concurrent packages
-# (mapper worker pool, core parallel GP loop, solver hooks, obs).
+# check.sh runs the repository's pre-merge gate: gofmt, build, vet, the
+# short test suite, and a race-detector pass over the concurrent packages
+# (mapper worker pool, core parallel GP loop, solver hooks, obs, cache
+# singleflight).
 # Equivalent to `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 
 echo "== go build ./..."
 go build ./...
@@ -17,6 +26,6 @@ echo "== go test -short ./..."
 go test -short ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/...
+go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/... ./internal/cache/...
 
 echo "check: ok"
