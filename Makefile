@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-json
 
 all: check
 
@@ -25,3 +25,7 @@ check: build vet test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...
+
+# Tier-1 benchmarks recorded as a BENCH_<date>.json trajectory point.
+bench-json:
+	scripts/bench.sh

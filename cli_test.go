@@ -14,7 +14,7 @@ import (
 func buildCmds(t *testing.T) string {
 	t.Helper()
 	dir := t.TempDir()
-	for _, name := range []string{"thistle", "tlmapper", "tlmodel", "experiments"} {
+	for _, name := range []string{"thistle", "tlmapper", "tlmodel", "experiments", "tlreport"} {
 		out := filepath.Join(dir, name)
 		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
 		cmd.Env = os.Environ()
@@ -159,6 +159,109 @@ func TestCLIObservability(t *testing.T) {
 		} else if st.Size() == 0 {
 			t.Errorf("profile %s is empty", p)
 		}
+	}
+}
+
+// TestCLIRunRecords drives the run-record pipeline end to end: thistle
+// writes an event stream and manifest, tlreport validates both, a diff
+// of two identical runs is clean, and an injected 10% EDP regression is
+// flagged with a non-zero exit code.
+func TestCLIRunRecords(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration test skipped in -short mode")
+	}
+	bin := buildCmds(t)
+	dir := t.TempDir()
+	events := filepath.Join(dir, "run.events.jsonl")
+	manA := filepath.Join(dir, "a.manifest.json")
+	manB := filepath.Join(dir, "b.manifest.json")
+
+	run := func(wantExit int, name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(filepath.Join(bin, name), args...)
+		out, err := cmd.CombinedOutput()
+		exit := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			exit = ee.ExitCode()
+		} else if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		if exit != wantExit {
+			t.Fatalf("%s %v: exit %d, want %d\n%s", name, args, exit, wantExit, out)
+		}
+		return string(out)
+	}
+
+	layerArgs := []string{"-layer", "resnet18_L12", "-specs=false"}
+	run(0, "thistle", append(layerArgs, "-events", events, "-manifest", manA)...)
+	run(0, "thistle", append(layerArgs, "-manifest", manB)...)
+
+	// The stream is schema-valid and covers the full run lifecycle.
+	vout := run(0, "tlreport", "validate", "-manifest", manA, events)
+	for _, want := range []string{"stream ok", "manifest ok", "optimize_end", "solve_end", "centering"} {
+		if !strings.Contains(vout, want) {
+			t.Fatalf("validate output missing %q:\n%s", want, vout)
+		}
+	}
+	raw, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := strings.SplitN(string(raw), "\n", 2)[0]
+	if !strings.Contains(first, `"schema":"thistle-events-v1"`) || !strings.Contains(first, `"run_start"`) {
+		t.Fatalf("stream does not open with a schema-tagged run_start:\n%s", first)
+	}
+
+	// show renders the manifest pair as one table.
+	sout := run(0, "tlreport", "show", manA, manB)
+	if !strings.Contains(sout, "resnet18_L12") || !strings.Contains(sout, "total") {
+		t.Fatalf("show output:\n%s", sout)
+	}
+
+	// Two identical runs diff clean (wall tolerance loosened: the runs
+	// are deterministic in results, not in wall time).
+	dout := run(0, "tlreport", "diff", "-wall-tol", "10", manA, manB)
+	if !strings.Contains(dout, "0 regression(s)") {
+		t.Fatalf("identical runs should diff clean:\n%s", dout)
+	}
+
+	// Inject a 10% EDP regression into a copy of B and diff again: the
+	// gate must trip with exit code 2.
+	var man map[string]any
+	rawB, err := os.ReadFile(manB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rawB, &man); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range man["layers"].([]any) {
+		row := l.(map[string]any)
+		row["edp"] = row["edp"].(float64) * 1.1
+	}
+	totals := man["totals"].(map[string]any)
+	totals["edp"] = totals["edp"].(float64) * 1.1
+	manC := filepath.Join(dir, "c.manifest.json")
+	mutated, err := json.Marshal(man)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(manC, mutated, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rout := run(2, "tlreport", "diff", "-wall-tol", "10", manA, manC)
+	if !strings.Contains(rout, "REGRESSION") || !strings.Contains(rout, "edp") {
+		t.Fatalf("regression diff output:\n%s", rout)
+	}
+
+	// A corrupt manifest is skipped with a warning by show, and fails
+	// validate's manifest check.
+	if err := os.WriteFile(manC, mutated[:len(mutated)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	wout := run(0, "tlreport", "show", manC, manA)
+	if !strings.Contains(wout, "warning: ignoring") {
+		t.Fatalf("corrupt manifest not warned about:\n%s", wout)
 	}
 }
 

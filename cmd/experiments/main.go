@@ -24,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 )
 
 func main() {
@@ -45,6 +46,8 @@ func run() error {
 	obsFlags.Register(flag.CommandLine)
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
+	var evFlags events.Flags
+	evFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -52,6 +55,10 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	if o, err = evFlags.Setup(o, "experiments", os.Args[1:], os.Stderr); err != nil {
+		return err
+	}
+	defer evFlags.Close()
 	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: o, Cache: sc}
@@ -100,5 +107,25 @@ func run() error {
 	if cacheFlags.ShowStats {
 		sc.WriteStats(os.Stdout)
 	}
+	if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
+		return err
+	}
 	return obsFlags.Finish(os.Stdout)
+}
+
+// cacheStatsOf converts the solve cache's counters for the manifest,
+// returning nil for an unused cache (so the manifest omits the block).
+func cacheStatsOf(s cache.Stats) *events.CacheStats {
+	if s.Hits+s.Misses == 0 {
+		return nil
+	}
+	return &events.CacheStats{
+		Hits:              s.Hits,
+		Misses:            s.Misses,
+		DiskHits:          s.DiskHits,
+		SingleflightWaits: s.SingleflightWaits,
+		Stores:            s.Stores,
+		Evictions:         s.Evictions,
+		HitRate:           s.HitRate(),
+	}
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/loopnest"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/internal/yamlite"
@@ -68,6 +69,8 @@ func run() error {
 	obsFlags.Register(flag.CommandLine)
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
+	var evFlags events.Flags
+	evFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -75,6 +78,10 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	if o, err = evFlags.Setup(o, "thistle", os.Args[1:], os.Stderr); err != nil {
+		return err
+	}
+	defer evFlags.Close()
 	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
 	ctx := obs.NewContext(context.Background(), o)
 	ctx = core.ContextWithCache(ctx, sc)
@@ -132,6 +139,9 @@ func run() error {
 		if cacheFlags.ShowStats {
 			sc.WriteStats(os.Stdout)
 		}
+		if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
+			return err
+		}
 		return obsFlags.Finish(os.Stdout)
 	}
 
@@ -185,7 +195,27 @@ func run() error {
 	if cacheFlags.ShowStats {
 		sc.WriteStats(os.Stdout)
 	}
+	if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
+		return err
+	}
 	return obsFlags.Finish(os.Stdout)
+}
+
+// cacheStatsOf converts the solve cache's counters for the manifest,
+// returning nil for an unused cache (so the manifest omits the block).
+func cacheStatsOf(s cache.Stats) *events.CacheStats {
+	if s.Hits+s.Misses == 0 {
+		return nil
+	}
+	return &events.CacheStats{
+		Hits:              s.Hits,
+		Misses:            s.Misses,
+		DiskHits:          s.DiskHits,
+		SingleflightWaits: s.SingleflightWaits,
+		Stores:            s.Stores,
+		Evictions:         s.Evictions,
+		HitRate:           s.HitRate(),
+	}
 }
 
 // runPipeline optimizes every layer of a pipeline and prints one TSV row

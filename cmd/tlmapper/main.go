@@ -21,6 +21,7 @@ import (
 	"repro/internal/mapper"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/internal/yamlite"
@@ -50,6 +51,8 @@ func run() error {
 	obsFlags.Register(flag.CommandLine)
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
+	var evFlags events.Flags
+	evFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -57,6 +60,10 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	if o, err = evFlags.Setup(o, "tlmapper", os.Args[1:], os.Stderr); err != nil {
+		return err
+	}
+	defer evFlags.Close()
 	mc := cache.Setup[*mapper.Result](&cacheFlags, "mapper", o)
 
 	var prob *loopnest.Problem
@@ -164,6 +171,20 @@ func run() error {
 	if hit {
 		cached = " (cached)"
 	}
+	if o.EventsEnabled() {
+		rep := res.Report
+		o.Emit(events.EvMapperEnd, map[string]any{
+			"problem":        prob.Name,
+			"trials":         res.Trials,
+			"valid":          res.Valid,
+			"energy_pj":      rep.Energy,
+			"cycles":         rep.Cycles,
+			"edp":            rep.Energy * rep.Cycles,
+			"energy_per_mac": rep.EnergyPerMAC,
+			"ipc":            rep.IPC,
+			"from_cache":     hit,
+		})
+	}
 	fmt.Printf("problem:      %s (%d MACs)\n", prob.Name, res.Report.Ops)
 	fmt.Printf("architecture: %s\n", a.String())
 	fmt.Printf("trials:       %d total, %d valid%s\n", res.Trials, res.Valid, cached)
@@ -185,5 +206,25 @@ func run() error {
 	if cacheFlags.ShowStats {
 		mc.WriteStats(os.Stdout)
 	}
+	if err := evFlags.Finish(cacheStatsOf(mc.Stats())); err != nil {
+		return err
+	}
 	return obsFlags.Finish(os.Stdout)
+}
+
+// cacheStatsOf converts the mapper cache's counters for the manifest,
+// returning nil for an unused cache (so the manifest omits the block).
+func cacheStatsOf(s cache.Stats) *events.CacheStats {
+	if s.Hits+s.Misses == 0 {
+		return nil
+	}
+	return &events.CacheStats{
+		Hits:              s.Hits,
+		Misses:            s.Misses,
+		DiskHits:          s.DiskHits,
+		SingleflightWaits: s.SingleflightWaits,
+		Stores:            s.Stores,
+		Evictions:         s.Evictions,
+		HitRate:           s.HitRate(),
+	}
 }

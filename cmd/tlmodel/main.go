@@ -21,6 +21,7 @@ import (
 	"repro/internal/dataflow"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/events"
 	"repro/internal/specs"
 	"repro/internal/yamlite"
 )
@@ -43,6 +44,8 @@ func run() error {
 	obsFlags.Register(flag.CommandLine)
 	var cacheFlags cache.Flags
 	cacheFlags.Register(flag.CommandLine)
+	var evFlags events.Flags
+	evFlags.Register(flag.CommandLine)
 	flag.Parse()
 
 	o, err := obsFlags.Setup(os.Stderr)
@@ -50,6 +53,10 @@ func run() error {
 		return err
 	}
 	defer obsFlags.Close()
+	if o, err = evFlags.Setup(o, "tlmodel", os.Args[1:], os.Stderr); err != nil {
+		return err
+	}
+	defer evFlags.Close()
 	rc := cache.Setup[*model.Report](&cacheFlags, "model", o)
 
 	parseSpan := o.StartSpan(nil, "parse-specs")
@@ -122,6 +129,17 @@ func run() error {
 	if hit && o.Enabled(obs.Info) {
 		o.Logf(obs.Info, "report served from cache (%s)", sig.Short())
 	}
+	if o.EventsEnabled() {
+		o.Emit(events.EvModelValidate, map[string]any{
+			"problem":    prob.Name,
+			"valid":      rep.Valid(),
+			"violations": len(rep.Violations),
+			"energy_pj":  rep.Energy,
+			"cycles":     rep.Cycles,
+			"edp":        rep.Energy * rep.Cycles,
+			"from_cache": hit,
+		})
+	}
 	fmt.Printf("problem:       %s (%d MACs)\n", prob.Name, rep.Ops)
 	fmt.Printf("architecture:  %s\n", a.String())
 	fmt.Printf("energy:        %.4g pJ (%.3f pJ/MAC)\n", rep.Energy, rep.EnergyPerMAC)
@@ -138,17 +156,42 @@ func run() error {
 	}
 	if rep.Valid() {
 		fmt.Println("constraints:   ok")
+		if err := evFlags.Finish(cacheStatsOf(rc.Stats())); err != nil {
+			return err
+		}
 		return obsFlags.Finish(os.Stdout)
 	}
 	fmt.Println("constraints:   VIOLATED")
 	for _, v := range rep.Violations {
 		fmt.Printf("  - %s\n", v)
 	}
+	// Violations exit non-zero, but the run record still completes: a
+	// failed validation is exactly what the event stream should capture.
+	if err := evFlags.Finish(cacheStatsOf(rc.Stats())); err != nil {
+		fmt.Fprintln(os.Stderr, "tlmodel:", err)
+	}
 	if err := obsFlags.Finish(os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tlmodel:", err)
 	}
 	os.Exit(2)
 	return nil
+}
+
+// cacheStatsOf converts the model cache's counters for the manifest,
+// returning nil for an unused cache (so the manifest omits the block).
+func cacheStatsOf(s cache.Stats) *events.CacheStats {
+	if s.Hits+s.Misses == 0 {
+		return nil
+	}
+	return &events.CacheStats{
+		Hits:              s.Hits,
+		Misses:            s.Misses,
+		DiskHits:          s.DiskHits,
+		SingleflightWaits: s.SingleflightWaits,
+		Stores:            s.Stores,
+		Evictions:         s.Evictions,
+		HitRate:           s.HitRate(),
+	}
 }
 
 func parseFile(path string) (*yamlite.Node, string, error) {

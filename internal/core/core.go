@@ -9,6 +9,7 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/arch"
 	"repro/internal/cache"
@@ -192,20 +193,68 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	if sc == nil {
 		sc = CacheFromContext(ctx)
 	}
-	if sc == nil {
-		return optimizePlacements(ctx, p, opts, o)
+	// The run-event stream gets an optimize_start/optimize_end pair per
+	// request; optimize_end carries the full row the manifest recorder
+	// folds into the per-layer table (field names match
+	// events.EvOptimizeEnd's required set).
+	emit := o.EventsEnabled()
+	var sig cache.Signature
+	haveSig := sc != nil || emit
+	if haveSig {
+		sig = solveKey(p, opts).Signature()
 	}
-	sig := solveKey(p, opts).Signature()
+	var t0 time.Time
+	if emit {
+		t0 = time.Now()
+		o.Emit("optimize_start", map[string]any{
+			"problem":   p.Name,
+			"sig":       sig.Short(),
+			"mode":      opts.Mode.String(),
+			"criterion": opts.Criterion.String(),
+		})
+	}
+	finish := func(res *Result, err error) (*Result, error) {
+		if emit {
+			f := map[string]any{
+				"problem": p.Name,
+				"sig":     sig.Short(),
+				"wall_us": time.Since(t0).Microseconds(),
+			}
+			if err != nil || res == nil || res.Best == nil {
+				f["status"] = "error"
+				if err != nil {
+					f["error"] = err.Error()
+				}
+			} else {
+				rep := res.Best.Report
+				f["status"] = "ok"
+				f["energy_pj"] = rep.Energy
+				f["cycles"] = rep.Cycles
+				f["edp"] = rep.Energy * rep.Cycles
+				f["energy_per_mac"] = rep.EnergyPerMAC
+				f["ipc"] = rep.IPC
+				f["pairs_solved"] = res.Stats.PairsSolved
+				f["fresh_solves"] = res.Stats.FreshSolves
+				f["candidates"] = res.Stats.Candidates
+				f["from_cache"] = res.Stats.FromCache
+			}
+			o.Emit("optimize_end", f)
+		}
+		return res, err
+	}
+	if sc == nil {
+		return finish(optimizePlacements(ctx, p, opts, o))
+	}
 	span.Annotate(obs.String("cache_sig", sig.Short()))
 	res, hit, err := sc.Do(sig, func() (*Result, error) {
 		return optimizePlacements(ctx, p, opts, o)
 	})
 	if err != nil {
-		return nil, err
+		return finish(nil, err)
 	}
 	if !hit {
 		span.SetAttr("cache", "miss")
-		return res, nil
+		return finish(res, nil)
 	}
 	span.SetAttr("cache", "hit")
 	if o.Enabled(obs.Info) {
@@ -218,7 +267,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	out := *res
 	out.Stats.FreshSolves = 0
 	out.Stats.FromCache = true
-	return &out, nil
+	return finish(&out, nil)
 }
 
 // optimizePlacements runs the uncached flow: one optimizeOne pass per

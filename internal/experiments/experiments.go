@@ -312,8 +312,12 @@ func Fig5(cfg Config) (*Experiment, error) {
 // "experiments.layers_deduped".
 func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Options, progress func(workloads.Layer)) ([]*core.Result, error) {
 	o := obs.FromContext(ctx)
+	if o.EventsEnabled() {
+		o.Emit("layers_total", map[string]any{"total": len(layers)})
+	}
 	results := make([]*core.Result, len(layers))
 	first := make(map[cache.Signature]int, len(layers))
+	fromLayer := make(map[cache.Signature]string, len(layers))
 	deduped := 0
 	for i, l := range layers {
 		p, err := l.Problem()
@@ -324,6 +328,23 @@ func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Opt
 		if j, ok := first[sig]; ok {
 			results[i] = results[j]
 			deduped++
+			if o.EventsEnabled() {
+				// A reused row with the source layer's numbers, so
+				// manifests of deduplicated whole-network runs still
+				// cover every layer (field names match
+				// events.EvLayerReused's required set).
+				rep := results[j].Best.Report
+				o.Emit("layer_reused", map[string]any{
+					"problem":        l.Name(),
+					"from":           fromLayer[sig],
+					"sig":            sig.Short(),
+					"energy_pj":      rep.Energy,
+					"cycles":         rep.Cycles,
+					"edp":            rep.Energy * rep.Cycles,
+					"energy_per_mac": rep.EnergyPerMAC,
+					"ipc":            rep.IPC,
+				})
+			}
 			continue
 		}
 		if progress != nil {
@@ -336,6 +357,7 @@ func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Opt
 			return nil, fmt.Errorf("%s: %w", l.Name(), err)
 		}
 		first[sig] = i
+		fromLayer[sig] = l.Name()
 		results[i] = r
 	}
 	if deduped > 0 {

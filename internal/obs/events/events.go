@@ -1,0 +1,306 @@
+// Package events is the durable-record layer of the reproduction's
+// observability stack: where internal/obs's spans and metrics die with
+// the process, this package writes machine-readable artifacts that
+// survive it — a schema-versioned JSONL event stream covering the whole
+// run lifecycle (run start/end, per-layer optimize outcomes, per-
+// centering solver convergence, cache hits, model validation) and a
+// final per-run manifest (run identity, per-layer EDP/energy/delay,
+// cache stats, metrics snapshot) written atomically. cmd/tlreport loads
+// manifests back to render aggregate tables and diff runs for
+// regressions, making every optimization run a reproducible, comparable
+// data point.
+//
+// The package plugs into the existing telemetry plumbing through
+// obs.EventSink: an Emitter (JSONL writer) and a Recorder (manifest
+// builder) both implement it, and the solver, core, and experiments
+// layers emit through the nil-safe obs.Obs.Emit hook they already
+// carry. Nothing below the CLI layer imports this package.
+package events
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// SchemaVersion tags the event-stream format. It is written into the
+// run_start event of every stream; Validate rejects streams written by
+// an incompatible format instead of misreading them.
+const SchemaVersion = "thistle-events-v1"
+
+// Event is one line of the JSONL stream. Seq is strictly increasing
+// within a stream (assigned by the Emitter under its lock, so events
+// from parallel solver goroutines are totally ordered). TimeUS is
+// microseconds since the stream was opened — relative, so identical
+// runs produce comparable streams. Schema is set on run_start only.
+type Event struct {
+	Schema string         `json:"schema,omitempty"`
+	Seq    int64          `json:"seq"`
+	TimeUS int64          `json:"t_us"`
+	Type   string         `json:"type"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Event types emitted by the pipeline, outermost to innermost.
+const (
+	// EvRunStart opens every stream: run_id, tool, go_version, git_rev,
+	// args, start_time.
+	EvRunStart = "run_start"
+	// EvRunEnd closes a stream with run totals.
+	EvRunEnd = "run_end"
+	// EvLayersTotal announces how many layers a sweep will optimize
+	// (drives the -status-addr progress display).
+	EvLayersTotal = "layers_total"
+	// EvOptimizeStart marks one core.Optimize entry: problem, mode,
+	// criterion, and the solve-cache content signature.
+	EvOptimizeStart = "optimize_start"
+	// EvOptimizeEnd carries the optimize outcome: the design point's
+	// energy/cycles/EDP, search effort, and cache disposition.
+	EvOptimizeEnd = "optimize_end"
+	// EvLayerReused marks a layer served by cross-layer dedup in
+	// experiments.OptimizeLayers (same signature as an earlier layer).
+	EvLayerReused = "layer_reused"
+	// EvSolveEnd summarizes one GP barrier solve: status, Newton
+	// iterations, centerings, objective, wall time.
+	EvSolveEnd = "solve_end"
+	// EvCentering is one barrier centering step: duality gap, Newton
+	// count, line-search backtracks, convergence.
+	EvCentering = "centering"
+	// EvMapperEnd summarizes one randomized-mapper search.
+	EvMapperEnd = "mapper_end"
+	// EvModelValidate carries a tlmodel constraint-check outcome.
+	EvModelValidate = "model_validate"
+)
+
+// requiredFields lists, per known event type, the fields Validate
+// demands. Unknown event types pass validation (forward compatibility);
+// known types missing required fields fail it.
+var requiredFields = map[string][]string{
+	EvRunStart:      {"run_id", "tool", "go_version"},
+	EvRunEnd:        {"layers", "energy_pj", "cycles", "edp", "wall_us"},
+	EvLayersTotal:   {"total"},
+	EvOptimizeStart: {"problem"},
+	EvOptimizeEnd:   {"problem", "status"},
+	EvLayerReused:   {"problem", "from"},
+	EvSolveEnd:      {"status", "newton", "centerings"},
+	EvCentering:     {"step", "gap", "newton"},
+	EvMapperEnd:     {"problem", "trials"},
+	EvModelValidate: {"problem", "valid"},
+}
+
+// Emitter writes the JSONL stream. It is safe for concurrent use; Emit
+// never returns an error (the stream is telemetry, not a correctness
+// dependency) — the first write failure is latched and reported by
+// Close. A nil *Emitter discards everything.
+type Emitter struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	f     *os.File
+	seq   int64
+	start time.Time
+	err   error
+}
+
+// NewEmitter wraps a writer. The caller owns the writer's lifetime;
+// Close flushes but does not close it.
+func NewEmitter(w io.Writer) *Emitter {
+	return &Emitter{w: bufio.NewWriter(w), start: time.Now()}
+}
+
+// Create opens path for writing and returns an emitter that owns the
+// file (Close closes it).
+func Create(path string) (*Emitter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	e := NewEmitter(f)
+	e.f = f
+	return e, nil
+}
+
+// Emit appends one event. Implements obs.EventSink.
+func (e *Emitter) Emit(typ string, fields map[string]any) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.seq++
+	ev := Event{
+		Seq:    e.seq,
+		TimeUS: time.Since(e.start).Microseconds(),
+		Type:   typ,
+		Fields: fields,
+	}
+	if typ == EvRunStart {
+		ev.Schema = SchemaVersion
+	}
+	data, err := json.Marshal(ev)
+	if err != nil {
+		e.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := e.w.Write(data); err != nil {
+		e.err = err
+	}
+}
+
+// Close flushes the stream (and closes the file when the emitter owns
+// one), returning the first error encountered over the stream's life.
+func (e *Emitter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.w.Flush(); e.err == nil {
+		e.err = err
+	}
+	if e.f != nil {
+		if err := e.f.Close(); e.err == nil {
+			e.err = err
+		}
+		e.f = nil
+	}
+	return e.err
+}
+
+// ReadStream parses a JSONL event stream. A truncated final line (the
+// process died mid-write) is tolerated and reported via the returned
+// warning list, mirroring the manifest's partial-file policy; any other
+// malformed line is an error.
+func ReadStream(r io.Reader) ([]Event, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	var pending string // last line, held back until we know another follows
+	line := 0
+	for sc.Scan() {
+		if pending != "" {
+			var ev Event
+			if err := json.Unmarshal([]byte(pending), &ev); err != nil {
+				return nil, nil, fmt.Errorf("events: line %d: %w", line, err)
+			}
+			events = append(events, ev)
+		}
+		pending = sc.Text()
+		line++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	var warnings []string
+	if pending != "" {
+		var ev Event
+		if err := json.Unmarshal([]byte(pending), &ev); err != nil {
+			warnings = append(warnings, fmt.Sprintf("ignoring truncated final line %d: %v", line, err))
+		} else {
+			events = append(events, ev)
+		}
+	}
+	return events, warnings, nil
+}
+
+// ErrBadStream reports a structurally invalid event stream.
+var ErrBadStream = errors.New("events: invalid stream")
+
+// StreamSummary is what Validate learned about a stream.
+type StreamSummary struct {
+	Events   int
+	ByType   map[string]int
+	RunID    string
+	Complete bool // a run_end event was present
+	Warnings []string
+}
+
+// Validate checks a stream against the schema: the first event must be
+// run_start carrying the current SchemaVersion and its required fields,
+// sequence numbers must be strictly increasing, and every known event
+// type must carry its required fields. A missing run_end (crash) and a
+// truncated final line are warnings, not errors.
+func Validate(r io.Reader) (*StreamSummary, error) {
+	events, warnings, err := ReadStream(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("%w: empty stream", ErrBadStream)
+	}
+	first := events[0]
+	if first.Type != EvRunStart {
+		return nil, fmt.Errorf("%w: first event is %q, want %q", ErrBadStream, first.Type, EvRunStart)
+	}
+	if first.Schema != SchemaVersion {
+		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadStream, first.Schema, SchemaVersion)
+	}
+	sum := &StreamSummary{ByType: map[string]int{}, Warnings: warnings}
+	prevSeq := int64(0)
+	for i, ev := range events {
+		if ev.Seq <= prevSeq {
+			return nil, fmt.Errorf("%w: event %d: seq %d not increasing (previous %d)", ErrBadStream, i, ev.Seq, prevSeq)
+		}
+		prevSeq = ev.Seq
+		if req, known := requiredFields[ev.Type]; known {
+			for _, field := range req {
+				if _, ok := ev.Fields[field]; !ok {
+					return nil, fmt.Errorf("%w: event %d (%s): missing required field %q", ErrBadStream, i, ev.Type, field)
+				}
+			}
+		}
+		sum.Events++
+		sum.ByType[ev.Type]++
+		if ev.Type == EvRunEnd {
+			sum.Complete = true
+		}
+	}
+	if id, ok := first.Fields["run_id"].(string); ok {
+		sum.RunID = id
+	}
+	if !sum.Complete {
+		sum.Warnings = append(sum.Warnings, "no run_end event: the run did not finish cleanly")
+	}
+	return sum, nil
+}
+
+// Multi fans one event out to several sinks, skipping nils. It returns
+// nil when no sink remains, which keeps obs.EventsEnabled a meaningful
+// fast-path guard.
+func Multi(sinks ...sink) sink {
+	var active []sink
+	for _, s := range sinks {
+		if s != nil {
+			active = append(active, s)
+		}
+	}
+	switch len(active) {
+	case 0:
+		return nil
+	case 1:
+		return active[0]
+	}
+	return multiSink(active)
+}
+
+// sink mirrors obs.EventSink without importing it (obs must not know
+// this package; the interfaces are structurally identical).
+type sink interface {
+	Emit(typ string, fields map[string]any)
+}
+
+type multiSink []sink
+
+func (m multiSink) Emit(typ string, fields map[string]any) {
+	for _, s := range m {
+		s.Emit(typ, fields)
+	}
+}

@@ -1,0 +1,95 @@
+package events
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// StatusServer serves live run telemetry over HTTP for long whole-
+// network runs: /metrics in Prometheus text format from the registry,
+// /statusz as a human-readable progress page backed by the Recorder.
+type StatusServer struct {
+	srv  *http.Server
+	addr string
+}
+
+// StartStatusServer listens on addr (e.g. "localhost:9090") and serves
+// in a background goroutine. The registry and recorder may each be nil
+// (their endpoint then reports an empty snapshot).
+func StartStatusServer(addr string, reg *obs.Registry, rec *Recorder) (*StatusServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeStatus(w, rec.Status())
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "thistle run status: /statusz (progress), /metrics (prometheus)")
+	})
+	s := &StatusServer{
+		srv:  &http.Server{Handler: mux},
+		addr: ln.Addr().String(),
+	}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound address (useful when addr had port 0).
+func (s *StatusServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.addr
+}
+
+// Close shuts the listener down.
+func (s *StatusServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// writeStatus renders the /statusz page.
+func writeStatus(w http.ResponseWriter, st Status) {
+	fmt.Fprintf(w, "run %s (%s), elapsed %s\n", st.RunID, st.Tool, st.Elapsed.Round(time.Millisecond))
+	if st.Total > 0 {
+		fmt.Fprintf(w, "progress: %d/%d layers done", st.Done, st.Total)
+	} else {
+		fmt.Fprintf(w, "progress: %d layers done", st.Done)
+	}
+	if st.Current != "" {
+		fmt.Fprintf(w, ", solving %s", st.Current)
+	}
+	fmt.Fprintln(w)
+	if len(st.Layers) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "\nlayer  pJ/MAC  cycles  EDP  wall")
+	for _, l := range st.Layers {
+		note := ""
+		if l.FromCache {
+			note = " (cached)"
+		} else if l.Reused {
+			note = " (reused)"
+		}
+		fmt.Fprintf(w, "%s  %.3f  %.4g  %.4g  %s%s\n",
+			l.Name, l.EnergyPerMAC, l.Cycles, l.EDP,
+			(time.Duration(l.WallUS) * time.Microsecond).Round(time.Millisecond), note)
+	}
+}

@@ -1,0 +1,222 @@
+package events
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"text/tabwriter"
+	"time"
+)
+
+// LoadManifests loads several manifests, skipping corrupt ones with a
+// warning on warnw (the partial-file policy: a crashed run's leftovers
+// must not abort a report over the healthy runs). It fails only when
+// nothing loadable remains.
+func LoadManifests(paths []string, warnw io.Writer) ([]*Manifest, error) {
+	var out []*Manifest
+	for _, p := range paths {
+		m, err := LoadManifest(p)
+		if err != nil {
+			fmt.Fprintf(warnw, "tlreport: warning: ignoring %s: %v\n", p, err)
+			continue
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no readable manifests among %d path(s)", len(paths))
+	}
+	return out, nil
+}
+
+// WriteTable renders one or more manifests as an aligned per-layer
+// table in the shape of the results/*.tsv artifacts: one row per layer
+// occurrence, the headline EDP/energy/delay columns per manifest, and a
+// totals row. Rows are aligned positionally (manifests of the same
+// configuration have identical row sequences).
+func WriteTable(w io.Writer, ms []*Manifest) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "layer"
+	for _, m := range ms {
+		id := m.RunID
+		if len(ms) == 1 {
+			id = ""
+		} else if len(id) > 8 {
+			id = "[" + id[len(id)-8:] + "]"
+		}
+		header += fmt.Sprintf("\tpJ/MAC%s\tcycles%s\tEDP%s", id, id, id)
+	}
+	fmt.Fprintln(tw, header)
+	rows := 0
+	for _, m := range ms {
+		if len(m.Layers) > rows {
+			rows = len(m.Layers)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		name := "-"
+		cols := ""
+		for _, m := range ms {
+			if i >= len(m.Layers) {
+				cols += "\t-\t-\t-"
+				continue
+			}
+			l := m.Layers[i]
+			name = l.Name
+			cols += fmt.Sprintf("\t%.3f\t%.4g\t%.4g", l.EnergyPerMAC, l.Cycles, l.EDP)
+		}
+		fmt.Fprintf(tw, "%s%s\n", name, cols)
+	}
+	totals := "total"
+	for _, m := range ms {
+		totals += fmt.Sprintf("\t%.4g pJ\t%.4g\t%.4g", m.Totals.EnergyPJ, m.Totals.Cycles, m.Totals.EDP)
+	}
+	fmt.Fprintln(tw, totals)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, m := range ms {
+		fmt.Fprintf(w, "# run %s: %s, %d layers, wall %s, %d GPs (%d fresh)",
+			m.RunID, m.Tool, m.Totals.Layers,
+			(time.Duration(m.WallUS) * time.Microsecond).Round(time.Millisecond),
+			m.Totals.PairsSolved, m.Totals.FreshSolves)
+		if m.Cache != nil {
+			fmt.Fprintf(w, ", cache hit rate %.1f%%", 100*m.Cache.HitRate)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// DiffOptions sets the per-metric regression tolerances as fractions
+// (0.05 = a 5% increase is tolerated). Zero values select defaults.
+type DiffOptions struct {
+	// EDPTol bounds per-layer and total EDP growth. Default 0.02.
+	EDPTol float64
+	// EnergyTol bounds per-layer energy growth. Default 0.02.
+	EnergyTol float64
+	// DelayTol bounds per-layer delay (cycles) growth. Default 0.02.
+	DelayTol float64
+	// WallTol bounds total wall-time growth. Wall clocks are noisy, so
+	// the default is loose: 0.50.
+	WallTol float64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.EDPTol == 0 {
+		o.EDPTol = 0.02
+	}
+	if o.EnergyTol == 0 {
+		o.EnergyTol = 0.02
+	}
+	if o.DelayTol == 0 {
+		o.DelayTol = 0.02
+	}
+	if o.WallTol == 0 {
+		o.WallTol = 0.50
+	}
+	return o
+}
+
+// Delta is one metric comparison between two runs.
+type Delta struct {
+	Layer  string  `json:"layer"` // "" for run-level metrics
+	Metric string  `json:"metric"`
+	Old    float64 `json:"old"`
+	New    float64 `json:"new"`
+	// Ratio is New/Old (+Inf when Old is zero and New is not).
+	Ratio float64 `json:"ratio"`
+}
+
+// DiffResult is the outcome of comparing two manifests.
+type DiffResult struct {
+	// Regressions are deltas that exceeded their tolerance.
+	Regressions []Delta
+	// Improvements are deltas that moved the other way by more than the
+	// same tolerance (reported for symmetry, never fatal).
+	Improvements []Delta
+	// MissingLayers counts rows present in one run but not the other —
+	// a configuration drift signal.
+	MissingLayers int
+}
+
+// HasRegressions reports whether the diff should fail a gate.
+func (d *DiffResult) HasRegressions() bool {
+	return len(d.Regressions) > 0 || d.MissingLayers > 0
+}
+
+// Diff compares two manifests layer by layer (positionally: identical
+// configurations produce identical row sequences) and at the run level
+// (total EDP, wall time). A self-diff is always clean.
+func Diff(oldM, newM *Manifest, opts DiffOptions) *DiffResult {
+	opts = opts.withDefaults()
+	d := &DiffResult{}
+	n := len(oldM.Layers)
+	if len(newM.Layers) < n {
+		n = len(newM.Layers)
+	}
+	d.MissingLayers = len(oldM.Layers) + len(newM.Layers) - 2*n
+	for i := 0; i < n; i++ {
+		ol, nl := oldM.Layers[i], newM.Layers[i]
+		name := nl.Name
+		if ol.Name != nl.Name {
+			name = ol.Name + "->" + nl.Name
+		}
+		d.compare(name, "edp", ol.EDP, nl.EDP, opts.EDPTol)
+		d.compare(name, "energy_pj", ol.EnergyPJ, nl.EnergyPJ, opts.EnergyTol)
+		d.compare(name, "cycles", ol.Cycles, nl.Cycles, opts.DelayTol)
+	}
+	d.compare("", "total_edp", oldM.Totals.EDP, newM.Totals.EDP, opts.EDPTol)
+	d.compare("", "wall_us", float64(oldM.WallUS), float64(newM.WallUS), opts.WallTol)
+	return d
+}
+
+// compare classifies one metric pair against a tolerance.
+func (d *DiffResult) compare(layer, metric string, oldV, newV, tol float64) {
+	if oldV == newV {
+		return
+	}
+	var ratio float64
+	switch {
+	case oldV != 0:
+		ratio = newV / oldV
+	case newV > 0:
+		ratio = math.Inf(1)
+	default:
+		return
+	}
+	delta := Delta{Layer: layer, Metric: metric, Old: oldV, New: newV, Ratio: ratio}
+	switch {
+	case newV > oldV*(1+tol):
+		d.Regressions = append(d.Regressions, delta)
+	case newV < oldV*(1-tol):
+		d.Improvements = append(d.Improvements, delta)
+	}
+}
+
+// WriteDiff renders a diff as text.
+func (d *DiffResult) WriteDiff(w io.Writer) error {
+	if d.MissingLayers > 0 {
+		fmt.Fprintf(w, "LAYOUT: %d layer row(s) present in only one run (configuration drift?)\n", d.MissingLayers)
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	writeDeltas := func(label string, ds []Delta) {
+		for _, dl := range ds {
+			layer := dl.Layer
+			if layer == "" {
+				layer = "(run)"
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.6g\t->\t%.6g\t(%+.1f%%)\n",
+				label, layer, dl.Metric, dl.Old, dl.New, 100*(dl.Ratio-1))
+		}
+	}
+	writeDeltas("REGRESSION", d.Regressions)
+	writeDeltas("improvement", d.Improvements)
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if !d.HasRegressions() && len(d.Improvements) == 0 {
+		fmt.Fprintln(w, "no differences beyond tolerance")
+	}
+	fmt.Fprintf(w, "%d regression(s), %d improvement(s)\n", len(d.Regressions), len(d.Improvements))
+	return nil
+}

@@ -1,0 +1,117 @@
+package events
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffSelfIsClean(t *testing.T) {
+	m := sampleManifest("r1", 200)
+	d := Diff(m, m, DiffOptions{})
+	if d.HasRegressions() || len(d.Improvements) != 0 {
+		t.Fatalf("self-diff not clean: %+v", d)
+	}
+	var sb strings.Builder
+	if err := d.WriteDiff(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no differences beyond tolerance") {
+		t.Fatalf("diff output:\n%s", sb.String())
+	}
+}
+
+func TestDiffFlagsEDPRegression(t *testing.T) {
+	oldM := sampleManifest("r1", 200)
+	newM := sampleManifest("r2", 220) // +10% EDP on layer l1, beyond the 2% default
+	newM.Totals.EDP = 1540            // +10% on the run total too
+	d := Diff(oldM, newM, DiffOptions{})
+	if !d.HasRegressions() {
+		t.Fatal("10% EDP growth not flagged")
+	}
+	foundLayer, foundTotal := false, false
+	for _, r := range d.Regressions {
+		if r.Layer == "l1" && r.Metric == "edp" {
+			foundLayer = true
+			if r.Ratio < 1.09 || r.Ratio > 1.11 {
+				t.Fatalf("ratio = %v, want ~1.10", r.Ratio)
+			}
+		}
+		if r.Layer == "" && r.Metric == "total_edp" {
+			foundTotal = true
+		}
+	}
+	if !foundLayer || !foundTotal {
+		t.Fatalf("missing expected regressions: %+v", d.Regressions)
+	}
+	var sb strings.Builder
+	if err := d.WriteDiff(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Fatalf("diff output missing REGRESSION marker:\n%s", sb.String())
+	}
+}
+
+func TestDiffToleranceAbsorbsSmallGrowth(t *testing.T) {
+	oldM := sampleManifest("r1", 200)
+	newM := sampleManifest("r2", 202) // +1%: inside the 2% default
+	newM.Totals.EDP = 1402
+	if d := Diff(oldM, newM, DiffOptions{}); d.HasRegressions() {
+		t.Fatalf("1%% growth flagged despite 2%% tolerance: %+v", d.Regressions)
+	}
+	// A tightened tolerance flags the same delta.
+	if d := Diff(oldM, newM, DiffOptions{EDPTol: 0.005}); !d.HasRegressions() {
+		t.Fatal("1% growth not flagged at 0.5% tolerance")
+	}
+}
+
+func TestDiffReportsImprovements(t *testing.T) {
+	oldM := sampleManifest("r1", 200)
+	newM := sampleManifest("r2", 100) // EDP halved
+	newM.Totals.EDP = 1300
+	d := Diff(oldM, newM, DiffOptions{})
+	if d.HasRegressions() {
+		t.Fatalf("improvement classified as regression: %+v", d.Regressions)
+	}
+	if len(d.Improvements) == 0 {
+		t.Fatal("halved EDP not reported as improvement")
+	}
+}
+
+func TestDiffMissingLayers(t *testing.T) {
+	oldM := sampleManifest("r1", 200)
+	newM := sampleManifest("r2", 200)
+	newM.Layers = newM.Layers[:1]
+	d := Diff(oldM, newM, DiffOptions{})
+	if d.MissingLayers != 1 || !d.HasRegressions() {
+		t.Fatalf("missing layer must fail the gate: %+v", d)
+	}
+}
+
+func TestDiffWallToleranceIsLoose(t *testing.T) {
+	oldM := sampleManifest("r1", 200)
+	newM := sampleManifest("r2", 200)
+	newM.WallUS = 1400 // +40%: inside the 50% default wall tolerance
+	if d := Diff(oldM, newM, DiffOptions{}); d.HasRegressions() {
+		t.Fatalf("40%% wall growth flagged: %+v", d.Regressions)
+	}
+	newM.WallUS = 1600 // +60%: beyond it
+	if d := Diff(oldM, newM, DiffOptions{}); !d.HasRegressions() {
+		t.Fatal("60% wall growth not flagged")
+	}
+}
+
+func TestWriteTableMultiRun(t *testing.T) {
+	a := sampleManifest("20260805T000000-aaaaaaaa", 200)
+	b := sampleManifest("20260805T000001-bbbbbbbb", 220)
+	var sb strings.Builder
+	if err := WriteTable(&sb, []*Manifest{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"l1", "l2", "total", "[aaaaaaaa]", "[bbbbbbbb]", "# run"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -189,11 +189,17 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistogramValue is one histogram in a snapshot.
+// HistogramValue is one histogram in a snapshot. P50NS, P95NS, and
+// P99NS are quantile estimates derived from the log-scale buckets at
+// snapshot time (see Quantile); they are carried in the JSON so run
+// manifests record latency distributions, not just totals.
 type HistogramValue struct {
 	Name    string       `json:"name"`
 	Count   int64        `json:"count"`
 	SumNS   int64        `json:"sum_ns"`
+	P50NS   int64        `json:"p50_ns,omitempty"`
+	P95NS   int64        `json:"p95_ns,omitempty"`
+	P99NS   int64        `json:"p99_ns,omitempty"`
 	Buckets []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -208,7 +214,47 @@ func (h HistogramValue) Mean() time.Duration {
 	return time.Duration(h.SumNS / h.Count)
 }
 
-// Snapshot is a point-in-time copy of every metric, sorted by name.
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// counts: the target rank's bucket is located by cumulative count and
+// the position within it interpolated linearly between the bucket's
+// bounds. The estimate is exact to within one power-of-two bucket and
+// deterministic for a given snapshot.
+func (h HistogramValue) Quantile(q float64) time.Duration {
+	if h.Count == 0 || len(h.Buckets) == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for _, b := range h.Buckets {
+		cum += float64(b.Count)
+		if cum >= rank {
+			lo := float64(b.LowUS)
+			hi := 2 * lo
+			if b.LowUS == 0 {
+				// Bucket 0 covers [0, 2us): sub-microsecond observations
+				// and the 1us bucket share it.
+				hi = 2
+			}
+			// Fraction of this bucket's observations at or below the rank.
+			frac := 1 - (cum-rank)/float64(b.Count)
+			us := lo + frac*(hi-lo)
+			return time.Duration(us * float64(time.Microsecond))
+		}
+	}
+	hi := 2 * h.Buckets[len(h.Buckets)-1].LowUS
+	if hi == 0 {
+		hi = 2
+	}
+	return time.Duration(hi) * time.Microsecond
+}
+
+// Snapshot is a point-in-time copy of every metric. Every section is
+// sorted by metric name and histogram buckets are in ascending bound
+// order, so two snapshots of identical registries render — and JSON-
+// encode — byte-identically (manifest diffs stay stable).
 type Snapshot struct {
 	Counters   []MetricValue    `json:"counters,omitempty"`
 	Gauges     []MetricValue    `json:"gauges,omitempty"`
@@ -239,6 +285,9 @@ func (r *Registry) Snapshot() Snapshot {
 				})
 			}
 		}
+		hv.P50NS = int64(hv.Quantile(0.50))
+		hv.P95NS = int64(hv.Quantile(0.95))
+		hv.P99NS = int64(hv.Quantile(0.99))
 		s.Histograms = append(s.Histograms, hv)
 	}
 	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
@@ -258,8 +307,11 @@ func (s Snapshot) WriteTable(w io.Writer) error {
 		fmt.Fprintf(tw, "%s\t%d\n", g.Name, g.Value)
 	}
 	for _, h := range s.Histograms {
-		fmt.Fprintf(tw, "%s\tcount %d, total %s, mean %s\n",
-			h.Name, h.Count, h.Sum().Round(time.Microsecond), h.Mean().Round(time.Microsecond))
+		fmt.Fprintf(tw, "%s\tcount %d, total %s, mean %s, p50 %s, p95 %s, p99 %s\n",
+			h.Name, h.Count, h.Sum().Round(time.Microsecond), h.Mean().Round(time.Microsecond),
+			time.Duration(h.P50NS).Round(time.Microsecond),
+			time.Duration(h.P95NS).Round(time.Microsecond),
+			time.Duration(h.P99NS).Round(time.Microsecond))
 	}
 	return tw.Flush()
 }

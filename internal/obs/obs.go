@@ -17,12 +17,38 @@ import (
 	"fmt"
 )
 
-// Obs bundles the three telemetry sinks. Any field (or the whole
-// pointer) may be nil; every method treats that as "disabled".
+// Obs bundles the telemetry sinks. Any field (or the whole pointer)
+// may be nil; every method treats that as "disabled".
 type Obs struct {
 	Log     *Logger
 	Tracer  *Tracer
 	Metrics *Registry
+	// Events receives the structured run-event stream (run/layer/solve
+	// lifecycle records); see internal/obs/events for the JSONL emitter
+	// and the run-manifest recorder that implement it.
+	Events EventSink
+}
+
+// EventSink consumes structured run events. Implementations must be
+// safe for concurrent use: the solver and the core GP workers emit from
+// parallel goroutines. Field values should be JSON-marshalable
+// primitives (string, int64, float64, bool) or slices of them.
+type EventSink interface {
+	Emit(typ string, fields map[string]any)
+}
+
+// EventsEnabled reports whether an event sink is attached. Hot loops
+// use it to skip building the field map entirely.
+func (o *Obs) EventsEnabled() bool { return o != nil && o.Events != nil }
+
+// Emit forwards one structured event to the attached sink, if any.
+// Callers on hot paths should guard with EventsEnabled first to avoid
+// allocating the field map.
+func (o *Obs) Emit(typ string, fields map[string]any) {
+	if o == nil || o.Events == nil {
+		return
+	}
+	o.Events.Emit(typ, fields)
 }
 
 // Logger returns the logger component (nil when disabled).

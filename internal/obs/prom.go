@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as-is, duration histograms
+// as cumulative `_bucket{le="..."}` series in seconds plus `_sum` and
+// `_count`. Metric names are sanitized to the Prometheus charset
+// (dots become underscores) and prefixed with "thistle_". The output is
+// what the -status-addr /metrics endpoint serves, so a long whole-network
+// run can be scraped live.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	for _, c := range s.Counters {
+		name := promName(c.Name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		name := promName(g.Name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		name := promName(h.Name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			// The bucket covers [LowUS, 2*LowUS) microseconds; its
+			// Prometheus upper bound is the exclusive end in seconds.
+			hiUS := 2 * b.LowUS
+			if hiUS == 0 {
+				hiUS = 2
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatSeconds(hiUS), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, float64(h.SumNS)/1e9, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders a microsecond bound as seconds without
+// scientific notation ambiguity ("0.000002", "0.5", "36").
+func formatSeconds(us int64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.6f", float64(us)/1e6), "0"), ".")
+}
+
+// promName maps a registry metric name onto the Prometheus charset.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("thistle_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

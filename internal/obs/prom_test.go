@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("solve")
+	// 90 observations in [2,4)us, 10 in [1024,2048)us: p50 sits in the
+	// low bucket, p99 in the high one.
+	for i := 0; i < 90; i++ {
+		h.Observe(3 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1500 * time.Microsecond)
+	}
+	hv := r.Snapshot().Histograms[0]
+	if p50 := hv.Quantile(0.50); p50 < 2*time.Microsecond || p50 >= 4*time.Microsecond {
+		t.Fatalf("p50 = %v, want within [2us,4us)", p50)
+	}
+	if p99 := hv.Quantile(0.99); p99 < 1024*time.Microsecond || p99 > 2048*time.Microsecond {
+		t.Fatalf("p99 = %v, want within [1024us,2048us]", p99)
+	}
+	if hv.P50NS == 0 || hv.P95NS == 0 || hv.P99NS == 0 {
+		t.Fatalf("snapshot quantiles not populated: %+v", hv)
+	}
+	if hv.P50NS > hv.P95NS || hv.P95NS > hv.P99NS {
+		t.Fatalf("quantiles not monotone: p50=%d p95=%d p99=%d", hv.P50NS, hv.P95NS, hv.P99NS)
+	}
+	var empty HistogramValue
+	if empty.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("z.count").Add(3)
+		r.Counter("a.count").Inc()
+		r.Gauge("m.progress").Set(7)
+		r.Histogram("h.dur").Observe(5 * time.Microsecond)
+		var sb strings.Builder
+		if err := r.Snapshot().WriteJSON(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("snapshots differ:\n%s\n---\n%s", a, b)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("solver.solves").Add(5)
+	r.Gauge("core.classes_l1.reg").Set(17)
+	h := r.Histogram("solver.solve_duration")
+	h.Observe(3 * time.Microsecond)
+	h.Observe(1500 * time.Microsecond)
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE thistle_solver_solves_total counter",
+		"thistle_solver_solves_total 5",
+		"# TYPE thistle_core_classes_l1_reg gauge",
+		"thistle_core_classes_l1_reg 17",
+		"# TYPE thistle_solver_solve_duration_seconds histogram",
+		`le="+Inf"`,
+		"thistle_solver_solve_duration_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Cumulative buckets: the +Inf bucket must equal the count.
+	if !strings.Contains(out, `thistle_solver_solve_duration_seconds_bucket{le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket not cumulative:\n%s", out)
+	}
+}

@@ -123,12 +123,22 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	opts.Span = span // parent for the phase spans
 	var t0 time.Time
 	hist := o.Histogram("solver.solve_duration")
-	if hist != nil {
+	if hist != nil || o.EventsEnabled() {
 		t0 = time.Now()
 	}
 	res, err := solve(p, yHint, opts)
 	if hist != nil {
 		hist.Observe(time.Since(t0))
+	}
+	if o.EventsEnabled() {
+		// Field names match events.EvSolveEnd's required set.
+		o.Emit("solve_end", map[string]any{
+			"status":     res.Status.String(),
+			"newton":     res.Newton,
+			"centerings": res.Centerings,
+			"objective":  res.Objective,
+			"wall_us":    time.Since(t0).Microseconds(),
+		})
 	}
 	o.Counter("solver.solves").Inc()
 	o.Counter("solver.newton_iters").Add(int64(res.Newton))
@@ -234,22 +244,35 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	t := opts.T0
 	centerings := 0
 	status := Optimal
+	emit := opts.Obs.EventsEnabled()
 	if m == 0 {
 		// Unconstrained: single Newton minimization of the objective.
-		n, converged := newtonMinimize(&obj, nil, 1, z, opts, nil)
+		n, _, converged := newtonMinimize(&obj, nil, 1, z, opts, nil)
 		totalNewton += n
 		if !converged {
 			status = Suboptimal
 		}
 	} else {
 		for centerings < opts.MaxCentering {
-			n, converged := newtonMinimize(&obj, ineq, t, z, opts, nil)
+			n, bt, converged := newtonMinimize(&obj, ineq, t, z, opts, nil)
 			totalNewton += n
 			centerings++
 			if !converged {
 				status = Suboptimal
 			}
-			if float64(m)/t < opts.Tol {
+			gap := float64(m) / t
+			if emit {
+				// Field names match events.EvCentering's required set.
+				opts.Obs.Emit("centering", map[string]any{
+					"step":       centerings,
+					"t":          t,
+					"gap":        gap,
+					"newton":     n,
+					"backtracks": bt,
+					"converged":  converged,
+				})
+			}
+			if gap < opts.Tol {
 				break
 			}
 			t *= opts.Mu
@@ -368,7 +391,7 @@ func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 		return x[dim-1] < -1e-6 && strictlyFeasible(ineq, x[:nz], 0)
 	}
 	for c := 0; c < opts.MaxCentering; c++ {
-		n, _ := newtonMinimize(&obj, ext, t, x, opts, stop)
+		n, _, _ := newtonMinimize(&obj, ext, t, x, opts, stop)
 		total += n
 		if x[dim-1] < -1e-7 {
 			out := append([]float64(nil), x[:nz]...)
@@ -386,10 +409,11 @@ func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 }
 
 // newtonMinimize minimizes t·f0(z) − Σ log(−fi(z)) over z in place,
-// returning the Newton iteration count and whether the decrement
-// tolerance was reached. f0 may be nil-adjacent only via ineq==nil
-// unconstrained mode (then the barrier term is absent).
-func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (int, bool) {
+// returning the Newton iteration count, the line-search backtrack
+// count, and whether the decrement tolerance was reached. f0 may be
+// nil-adjacent only via ineq==nil unconstrained mode (then the barrier
+// term is absent).
+func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (iters, bt int, converged bool) {
 	n := len(z)
 	log := opts.Obs.Logger()
 	backtracks := opts.Obs.Counter("solver.linesearch_backtracks")
@@ -449,7 +473,7 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			if log.Enabled(obs.Trace) {
 				log.Tracef("solver: eval infeasible at start of newton iter %d (t=%g)", it, t)
 			}
-			return it, false // should not happen from a feasible start
+			return it, bt, false // should not happen from a feasible start
 		}
 		negG := make([]float64, n)
 		for i := range g {
@@ -467,7 +491,7 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			lambda2 = linalg.Dot(g, g)
 		}
 		if lambda2/2 <= opts.NewtonTol {
-			return it + 1, true
+			return it + 1, bt, true
 		}
 		// Backtracking line search (Armijo, alpha=0.25, beta=0.5), with
 		// implicit feasibility filtering via +Inf values.
@@ -479,22 +503,24 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			if tv, tok := eval(zTrial, false); tok && tv <= val-0.25*step*lambda2 {
 				copy(z, zTrial)
 				improved = true
+				bt += ls
 				backtracks.Add(int64(ls))
 				break
 			}
 			step *= 0.5
 		}
 		if !improved {
+			bt += 60
 			backtracks.Add(60)
 			// No progress possible at machine precision.
 			if log.Enabled(obs.Trace) {
 				log.Tracef("solver: line search stalled at iter %d t=%g val=%g lambda2=%g", it, t, val, lambda2)
 			}
-			return it + 1, true
+			return it + 1, bt, true
 		}
 		if stop != nil && stop(z) {
-			return it + 1, true
+			return it + 1, bt, true
 		}
 	}
-	return opts.MaxNewton, false
+	return opts.MaxNewton, bt, false
 }

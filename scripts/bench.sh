@@ -1,0 +1,22 @@
+#!/bin/sh
+# bench.sh runs the tier-1 performance benchmarks (cold/warm single-layer
+# optimize and the whole-network warm-cache sweep) with -benchmem and
+# records the result as a JSON trajectory point BENCH_<date>.json at the
+# repo root, via scripts/benchjson. Successive points form the repo's
+# performance history; diff them the same way tlreport diffs manifests.
+#
+# Usage: scripts/bench.sh [extra go-test args...]
+#   scripts/bench.sh              # the tier-1 cache benchmarks
+#   scripts/bench.sh -benchtime 5x
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="BENCH_$(date -u +%Y%m%d).json"
+pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache'
+
+echo "== go test -bench ($pattern)"
+go test -run '^$' -bench "$pattern" -benchmem "$@" . \
+    | go run ./scripts/benchjson "$out"
+
+echo "== wrote $out"

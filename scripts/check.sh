@@ -1,8 +1,10 @@
 #!/bin/sh
 # check.sh runs the repository's pre-merge gate: gofmt, build, vet, the
-# short test suite, and a race-detector pass over the concurrent packages
+# short test suite, a race-detector pass over the concurrent packages
 # (mapper worker pool, core parallel GP loop, solver hooks, obs, cache
-# singleflight).
+# singleflight), and an end-to-end run-report gate: a small workload is
+# optimized with -events/-manifest, the JSONL stream is validated against
+# the schema, and a tlreport self-diff must come back regression-free.
 # Equivalent to `make check`.
 set -eu
 
@@ -27,5 +29,15 @@ go test -short ./...
 
 echo "== go test -race (concurrent packages)"
 go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/... ./internal/cache/...
+
+echo "== e2e run-report gate (thistle -events/-manifest + tlreport)"
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/thistle" ./cmd/thistle
+go build -o "$tmp/tlreport" ./cmd/tlreport
+"$tmp/thistle" -layer resnet18_L12 -specs=false \
+    -events "$tmp/run.events.jsonl" -manifest "$tmp/run.manifest.json" >/dev/null
+"$tmp/tlreport" validate -manifest "$tmp/run.manifest.json" "$tmp/run.events.jsonl"
+"$tmp/tlreport" diff -wall-tol 10 "$tmp/run.manifest.json" "$tmp/run.manifest.json"
 
 echo "check: ok"
