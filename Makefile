@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-json
+.PHONY: all build vet lint test race check bench bench-json
 
 all: check
 
@@ -9,6 +9,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# tlvet: the project-specific static-analysis suite (cmd/tlvet). Use
+# `go run ./cmd/tlvet -list` to see the analyzers.
+lint:
+	$(GO) run ./cmd/tlvet .
 
 # Short test run (skips the CLI integration tests).
 test:
@@ -20,7 +25,7 @@ test:
 race:
 	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/...
 
-check: build vet test race
+check: build vet lint test race
 	@echo "check: ok"
 
 bench:

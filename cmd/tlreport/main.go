@@ -66,7 +66,7 @@ func run(args []string) int {
 // runShow renders manifests as one aligned table (columns per run).
 func runShow(args []string) int {
 	fs := flag.NewFlagSet("tlreport show", flag.ExitOnError)
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse terminates the process on bad flags
 	if fs.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "tlreport show: at least one manifest path required")
 		return 1
@@ -91,7 +91,7 @@ func runDiff(args []string) int {
 	fs.Float64Var(&opts.EnergyTol, "energy-tol", 0, "tolerated fractional energy growth (default 0.02)")
 	fs.Float64Var(&opts.DelayTol, "delay-tol", 0, "tolerated fractional delay growth (default 0.02)")
 	fs.Float64Var(&opts.WallTol, "wall-tol", 0, "tolerated fractional wall-time growth (default 0.50)")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse terminates the process on bad flags
 	if fs.NArg() != 2 {
 		fmt.Fprintln(os.Stderr, "tlreport diff: exactly two manifest paths required (old new)")
 		return 1
@@ -123,7 +123,7 @@ func runDiff(args []string) int {
 func runValidate(args []string) int {
 	fs := flag.NewFlagSet("tlreport validate", flag.ExitOnError)
 	manPath := fs.String("manifest", "", "also load and schema-check this manifest")
-	fs.Parse(args)
+	_ = fs.Parse(args) // ExitOnError: Parse terminates the process on bad flags
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "tlreport validate: exactly one event-stream path required")
 		return 1
@@ -133,8 +133,8 @@ func runValidate(args []string) int {
 		fmt.Fprintln(os.Stderr, "tlreport validate:", err)
 		return 1
 	}
+	defer f.Close()
 	sum, err := events.Validate(f)
-	f.Close()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tlreport validate:", err)
 		return 2

@@ -1,0 +1,56 @@
+// Package checks holds the tlvet analyzers: project-specific semantic
+// invariants of the Thistle reproduction that go vet cannot know
+// about. Each analyzer is documented on its declaration; the registry
+// below is the single source of truth for what cmd/tlvet runs.
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DroppedErr,
+		EventFields,
+		FloatEq,
+		NilRecv,
+		PosyCoef,
+	}
+}
+
+// Names returns the set of analyzer names, for ignore-directive
+// validation.
+func Names() map[string]bool {
+	names := make(map[string]bool)
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// calleeFunc resolves a call's static callee, or nil for calls through
+// function values, builtins, and type conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// underBasic returns the underlying *types.Basic of t, or nil.
+func underBasic(t types.Type) *types.Basic {
+	if t == nil {
+		return nil
+	}
+	b, _ := t.Underlying().(*types.Basic)
+	return b
+}

@@ -1,0 +1,107 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// DroppedErr flags expression statements whose call returns an error
+// that nobody looks at. In a pipeline whose outputs feed regression
+// gates, a silently dropped write error means a truncated manifest or
+// event stream that fails much later in tlreport with a confusing
+// message — or worse, passes.
+//
+// Writes that cannot fail are allowlisted: fmt.Print*/Fprint* (the
+// conventional "best-effort console output" idiom) and the methods of
+// strings.Builder and bytes.Buffer, which are documented to always
+// return a nil error. Intentional drops should be written as
+// `_ = f()` — an explicit assignment the analyzer does not flag — or
+// carry a //tlvet:ignore directive. `defer` and `go` statements are
+// out of scope in this version.
+var DroppedErr = &analysis.Analyzer{
+	Name: "droppederr",
+	Doc:  "calls returning an error must not be used as bare statements",
+	Run:  runDroppedErr,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runDroppedErr(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok || !returnsError(info, call) {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn != nil && errAllowlisted(fn) {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok &&
+				fn != nil && fn.Name() == "Write" && isHashHash(info.Types[sel.X].Type) {
+				// hash.Hash embeds io.Writer but documents that Write
+				// never returns an error.
+				return true
+			}
+			name := "call"
+			if fn != nil {
+				name = fn.Name()
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s includes an error that is silently dropped; handle it, assign it to _ explicitly, or add a //tlvet:ignore with a reason",
+				name)
+			return true
+		})
+	}
+}
+
+// returnsError reports whether any result of call has type error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.Types[call.Fun].Type
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false // conversion or builtin
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// errAllowlisted reports whether fn is one of the functions whose
+// error result is conventionally ignored because it cannot fail (or,
+// for console output, because there is nothing useful to do with it).
+func errAllowlisted(fn *types.Func) bool {
+	full := fn.FullName()
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
+	}
+	return strings.HasPrefix(full, "(*strings.Builder).") ||
+		strings.HasPrefix(full, "(*bytes.Buffer).")
+}
+
+// isHashHash reports whether t is the hash.Hash interface (or a
+// pointer to it).
+func isHashHash(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "hash" && obj.Name() == "Hash"
+}

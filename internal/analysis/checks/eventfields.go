@@ -1,0 +1,204 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/obs/events"
+)
+
+// EventFields enforces the thistle-events-v1 schema at every Emit call
+// site. The schema itself lives in events.Schema() — the same table
+// cmd/tlreport validate checks recorded streams against — so the
+// static and dynamic checks cannot drift apart.
+//
+// An Emit site (any method named Emit with signature
+// (string, map[string]any)) must:
+//
+//   - name its event type with an Ev* constant whose value is a schema
+//     key, never a bare string literal;
+//   - when the fields argument is a map literal, use only keys the
+//     schema declares for that event, with statically compatible
+//     value types, and include every required key.
+//
+// Sites that forward a variable event type (sink fan-out, the Obs.Emit
+// implementation itself) and sites that build the field map
+// incrementally are out of static reach and are skipped.
+var EventFields = &analysis.Analyzer{
+	Name: "eventfields",
+	Doc:  "Emit calls must use Ev* constants and match the thistle-events-v1 field schema",
+	Run:  runEventFields,
+}
+
+func runEventFields(pass *analysis.Pass) {
+	schema := events.Schema()
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok && isEmitCall(info, call) {
+				checkEmit(pass, schema, call)
+			}
+			return true
+		})
+	}
+}
+
+// isEmitCall reports whether call invokes a method named Emit with
+// signature (string, map[string]any) — the shape shared by
+// obs.EventSink implementations and obs.Obs.Emit.
+func isEmitCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" || len(call.Args) != 2 {
+		return false
+	}
+	// Require a genuine method selection (the recorded signature has
+	// its receiver stripped, so check Selections, not Recv).
+	if s := info.Selections[sel]; s == nil || s.Kind() != types.MethodVal {
+		return false
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Params().Len() != 2 || sig.Variadic() {
+		return false
+	}
+	if b := underBasic(sig.Params().At(0).Type()); b == nil || b.Kind() != types.String {
+		return false
+	}
+	m, ok := sig.Params().At(1).Type().Underlying().(*types.Map)
+	if !ok {
+		return false
+	}
+	if b := underBasic(m.Key()); b == nil || b.Kind() != types.String {
+		return false
+	}
+	iface, ok := m.Elem().Underlying().(*types.Interface)
+	return ok && iface.Empty()
+}
+
+func checkEmit(pass *analysis.Pass, schema map[string]events.EventSpec, call *ast.CallExpr) {
+	info := pass.TypesInfo()
+	typArg := ast.Unparen(call.Args[0])
+
+	if _, isLit := typArg.(*ast.BasicLit); isLit {
+		pass.Reportf(typArg.Pos(), "event type must be a named Ev* constant (see internal/obs/eventtypes.go), not a string literal")
+		return
+	}
+	obj := constObj(info, typArg)
+	if obj == nil {
+		// A variable event type is a forwarding site (multi-sink,
+		// Obs.Emit itself) — out of static reach.
+		return
+	}
+	if !strings.HasPrefix(obj.Name(), "Ev") {
+		pass.Reportf(typArg.Pos(), "event type constant %s is not one of the Ev* constants declared in internal/obs/eventtypes.go", obj.Name())
+		return
+	}
+	evName := constant.StringVal(obj.Val())
+	spec, known := schema[evName]
+	if !known {
+		pass.Reportf(typArg.Pos(), "event type %q is not in the thistle-events-v1 schema (events.Schema)", evName)
+		return
+	}
+
+	checkEmitFields(pass, spec, evName, call.Args[1])
+}
+
+func checkEmitFields(pass *analysis.Pass, spec events.EventSpec, evName string, fieldsArg ast.Expr) {
+	info := pass.TypesInfo()
+	fieldsArg = ast.Unparen(fieldsArg)
+
+	if id, ok := fieldsArg.(*ast.Ident); ok && id.Name == "nil" {
+		reportMissing(pass, spec, evName, fieldsArg.Pos(), nil)
+		return
+	}
+	lit, ok := fieldsArg.(*ast.CompositeLit)
+	if !ok {
+		return // map built incrementally — out of static reach
+	}
+	seen := make(map[string]bool)
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		keyTV := info.Types[kv.Key]
+		if keyTV.Value == nil || keyTV.Value.Kind() != constant.String {
+			continue // computed key — out of static reach
+		}
+		key := constant.StringVal(keyTV.Value)
+		seen[key] = true
+		kind, declared := spec.Kind(key)
+		if !declared {
+			pass.Reportf(kv.Key.Pos(), "event %q has no field %q in the thistle-events-v1 schema", evName, key)
+			continue
+		}
+		if vt := info.Types[kv.Value].Type; !staticKindOK(vt, kind) {
+			pass.Reportf(kv.Value.Pos(), "field %q of event %q must be %s-kinded, got %s", key, evName, kind, vt)
+		}
+	}
+	reportMissing(pass, spec, evName, lit.Pos(), seen)
+}
+
+func reportMissing(pass *analysis.Pass, spec events.EventSpec, evName string, pos token.Pos, seen map[string]bool) {
+	var missing []string
+	for field := range spec.Required {
+		if !seen[field] {
+			missing = append(missing, field)
+		}
+	}
+	sort.Strings(missing)
+	for _, field := range missing {
+		pass.Reportf(pos, "event %q is missing required field %q", evName, field)
+	}
+}
+
+// constObj resolves e to the named constant it denotes, or nil.
+func constObj(info *types.Info, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, _ := info.Uses[id].(*types.Const)
+	if c == nil || c.Val() == nil || c.Val().Kind() != constant.String {
+		return nil
+	}
+	return c
+}
+
+// staticKindOK reports whether a value of Go type t can satisfy the
+// schema kind. Interfaces and non-basic types are not checked
+// statically (the dynamic validator covers them).
+func staticKindOK(t types.Type, kind events.FieldKind) bool {
+	if kind == events.KindAny {
+		return true
+	}
+	b := underBasic(t)
+	if b == nil {
+		// Interfaces, structs, slices: not decidable statically —
+		// leave those to the dynamic validator.
+		return true
+	}
+	switch kind {
+	case events.KindString:
+		return b.Info()&types.IsString != 0
+	case events.KindBool:
+		return b.Info()&types.IsBoolean != 0
+	case events.KindInt:
+		return b.Info()&types.IsInteger != 0
+	case events.KindFloat:
+		// JSON does not distinguish 3 from 3.0: ints are valid floats.
+		return b.Info()&(types.IsFloat|types.IsInteger) != 0
+	default:
+		return true
+	}
+}

@@ -1,0 +1,76 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// FloatEq flags exact ==/!= between floating-point operands in the
+// numerical packages (internal/solver, internal/model, internal/core),
+// where two mathematically equal quantities computed along different
+// code paths rarely compare equal bit-for-bit. Use floats.Eq or
+// floats.EqTol from repro/internal/floats instead.
+//
+// Comparisons against a constant zero are exempt: the zero value is
+// used as an "option not set" sentinel (withDefaults style), and a
+// float that was never written is exactly 0.
+var FloatEq = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "exact float ==/!= in numerical packages; use repro/internal/floats helpers",
+	Run:  runFloatEq,
+}
+
+var floatEqPkgs = []string{
+	"repro/internal/solver",
+	"repro/internal/model",
+	"repro/internal/core",
+}
+
+func floatEqInScope(path string) bool {
+	for _, p := range floatEqPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runFloatEq(pass *analysis.Pass) {
+	if !floatEqInScope(pass.Path()) {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOperand(info, bin.X) || !isFloatOperand(info, bin.Y) {
+				return true
+			}
+			if isConstZero(info, bin.X) || isConstZero(info, bin.Y) {
+				return true // zero-value sentinel idiom
+			}
+			pass.Reportf(bin.OpPos,
+				"exact float %s comparison; use floats.Eq/floats.EqTol (repro/internal/floats) or an explicit tolerance",
+				bin.Op)
+			return true
+		})
+	}
+}
+
+func isFloatOperand(info *types.Info, e ast.Expr) bool {
+	b := underBasic(info.Types[e].Type)
+	return b != nil && b.Info()&types.IsFloat != 0
+}
+
+func isConstZero(info *types.Info, e ast.Expr) bool {
+	v := info.Types[e].Value
+	return v != nil && constant.Sign(constant.ToFloat(v)) == 0
+}

@@ -1,0 +1,221 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// NilRecv enforces the nil-safety contract of the observability
+// layer: the documented API promise is that a nil *Obs (and every
+// handle it vends) is a valid no-op, so instrumented code never has to
+// guard call sites. That only holds if every exported pointer-receiver
+// method on these types refuses to dereference a nil receiver.
+//
+// The analyzer flags direct receiver dereferences (field access,
+// *recv) that are not dominated by a nil test: either a leading
+// terminating `if recv == nil { return }` guard, a `recv != nil`
+// condition on the enclosing if, or a short-circuit `recv != nil &&`
+// / `recv == nil ||` earlier in the same expression. Method calls on
+// the receiver are assumed nil-safe (they are themselves checked).
+var NilRecv = &analysis.Analyzer{
+	Name: "nilrecv",
+	Doc:  "exported methods on nil-safe obs types must not dereference a nil receiver",
+	Run:  runNilRecv,
+}
+
+// nilSafeTypes lists, per package, the types whose documented contract
+// is "nil receiver is a no-op". Flags (obs/cli.go) is deliberately
+// absent: it is constructed by value and makes no such promise.
+var nilSafeTypes = map[string]map[string]bool{
+	"repro/internal/obs": {
+		"Obs": true, "Logger": true, "Tracer": true, "Span": true,
+		"Counter": true, "Gauge": true, "Histogram": true, "Registry": true,
+	},
+	"repro/internal/obs/events": {
+		"Emitter": true, "Recorder": true,
+	},
+}
+
+func runNilRecv(pass *analysis.Pass) {
+	guarded := nilSafeTypes[pass.Path()]
+	if guarded == nil {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			star, ok := recv.Type.(*ast.StarExpr)
+			if !ok {
+				continue // value receiver cannot be nil
+			}
+			base, ok := star.X.(*ast.Ident)
+			if !ok || !guarded[base.Name] {
+				continue
+			}
+			if len(recv.Names) == 0 || recv.Names[0].Name == "_" {
+				continue // receiver unnamed: nothing to dereference
+			}
+			recvObj := info.Defs[recv.Names[0]]
+			if recvObj == nil {
+				continue
+			}
+			checkNilSafety(pass, fd, recvObj)
+		}
+	}
+}
+
+// posRange is a half-open source region within which receiver
+// dereferences are dominated by a nil test.
+type posRange struct{ from, to token.Pos }
+
+func checkNilSafety(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object) {
+	info := pass.TypesInfo()
+	var safe []posRange
+
+	// A leading terminating `if recv == nil { return }` (possibly
+	// after statements that do not touch the receiver) protects the
+	// rest of the body.
+	for _, stmt := range fd.Body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok &&
+			ifs.Init == nil && ifs.Else == nil &&
+			condImpliedByNil(info, ifs.Cond, recv) && terminates(ifs.Body) {
+			safe = append(safe, posRange{ifs.End(), fd.Body.End()})
+			break
+		}
+	}
+
+	// Short-circuit and branch protection anywhere in the body.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			// recv != nil && X   /   recv == nil || X
+			if n.Op == token.LAND && condRequiresNonNil(info, n.X, recv) ||
+				n.Op == token.LOR && condImpliedByNil(info, n.X, recv) {
+				safe = append(safe, posRange{n.Y.Pos(), n.Y.End()})
+			}
+		case *ast.IfStmt:
+			if condRequiresNonNil(info, n.Cond, recv) {
+				safe = append(safe, posRange{n.Body.Pos(), n.Body.End()})
+			}
+		}
+		return true
+	})
+
+	inSafe := func(p token.Pos) bool {
+		for _, r := range safe {
+			if r.from <= p && p < r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var x ast.Expr
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if sel := info.Selections[n]; sel == nil || sel.Kind() != types.FieldVal {
+				return true // method call or qualified identifier
+			}
+			x = n.X
+		case *ast.StarExpr:
+			x = n.X
+		default:
+			return true
+		}
+		id, ok := ast.Unparen(x).(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return true
+		}
+		if !inSafe(id.Pos()) {
+			pass.Reportf(id.Pos(),
+				"%s dereferences receiver %s without a nil guard; %s is documented nil-safe — add `if %s == nil { return ... }` first",
+				fd.Name.Name, id.Name, recvTypeName(fd), id.Name)
+		}
+		return true
+	})
+}
+
+func recvTypeName(fd *ast.FuncDecl) string {
+	if star, ok := fd.Recv.List[0].Type.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	}
+	return "receiver type"
+}
+
+// terminates reports whether a guard body unconditionally leaves the
+// function (return or panic as its final statement).
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch last := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		return ok && id.Name == "panic"
+	}
+	return false
+}
+
+// condImpliedByNil reports whether cond is true whenever recv is nil:
+// `recv == nil`, or an || chain with such an operand.
+func condImpliedByNil(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.EQL:
+			return isNilCompare(info, cond, recv)
+		case token.LOR:
+			return condImpliedByNil(info, cond.X, recv) || condImpliedByNil(info, cond.Y, recv)
+		case token.LAND:
+			return condImpliedByNil(info, cond.X, recv) && condImpliedByNil(info, cond.Y, recv)
+		}
+	}
+	return false
+}
+
+// condRequiresNonNil reports whether cond can only be true when recv
+// is non-nil: `recv != nil`, or an && chain with such an operand.
+func condRequiresNonNil(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	switch cond := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		switch cond.Op {
+		case token.NEQ:
+			return isNilCompare(info, cond, recv)
+		case token.LAND:
+			return condRequiresNonNil(info, cond.X, recv) || condRequiresNonNil(info, cond.Y, recv)
+		case token.LOR:
+			return condRequiresNonNil(info, cond.X, recv) && condRequiresNonNil(info, cond.Y, recv)
+		}
+	}
+	return false
+}
+
+// isNilCompare reports whether bin compares recv against nil.
+func isNilCompare(info *types.Info, bin *ast.BinaryExpr, recv types.Object) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil" && info.Types[id].IsNil()
+	}
+	return isRecv(bin.X) && isNil(bin.Y) || isNil(bin.X) && isRecv(bin.Y)
+}

@@ -1,0 +1,73 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+)
+
+// PosyCoef rejects compile-time-constant non-positive coefficients
+// flowing into the posynomial constructors of internal/expr and the
+// bound helpers of internal/gp. Geometric programming is only convex
+// for positive coefficients; a negative or zero literal here is always
+// a bug the solver would otherwise surface much later as
+// ErrNotPosynomial (or, worse, as log(0) during lowering).
+//
+// Only constants are checked: computed coefficients (e.g. the negated
+// extents the dataflow relaxation handles explicitly via
+// DropNegativeConstants) are runtime values the analyzer cannot judge.
+var PosyCoef = &analysis.Analyzer{
+	Name: "posycoef",
+	Doc:  "literal coefficients passed to posynomial constructors must be positive",
+	Run:  runPosyCoef,
+}
+
+// coefRule identifies which argument of a constructor is the
+// coefficient and whether zero is tolerated (expr.PolyConst(0) is the
+// documented empty posynomial).
+type coefRule struct {
+	arg       int
+	allowZero bool
+}
+
+var coefRules = map[string]coefRule{
+	"repro/internal/expr.Mono":                   {arg: 0},
+	"repro/internal/expr.MonoPow":                {arg: 0},
+	"repro/internal/expr.Const":                  {arg: 0},
+	"repro/internal/expr.PolyConst":              {arg: 0, allowZero: true},
+	"(*repro/internal/gp.Program).AddUpperBound": {arg: 2},
+	"(*repro/internal/gp.Program).AddLowerBound": {arg: 2},
+}
+
+func runPosyCoef(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil {
+				return true
+			}
+			rule, ok := coefRules[fn.FullName()]
+			if !ok || rule.arg >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[rule.arg]
+			tv := info.Types[arg]
+			if tv.Value == nil {
+				return true // runtime value — out of static reach
+			}
+			val, _ := constant.Float64Val(constant.ToFloat(tv.Value))
+			if val < 0 || (val == 0 && !rule.allowZero) {
+				pass.Reportf(arg.Pos(),
+					"%s coefficient must be positive (posynomials are only convex in log space for positive coefficients); got %v",
+					fn.Name(), tv.Value)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,50 @@
+// Package droppederr is a tlvet golden-file fixture.
+package droppederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func countAndFail() (int, error) { return 0, errors.New("boom") }
+
+func pure() int { return 1 }
+
+func body(f *os.File, sb *strings.Builder, buf *bytes.Buffer) {
+	mayFail()      // want `result of mayFail includes an error that is silently dropped`
+	countAndFail() // want `result of countAndFail includes an error that is silently dropped`
+	f.Sync()       // want `result of Sync includes an error that is silently dropped`
+
+	// Handled or explicitly discarded errors are fine.
+	if err := mayFail(); err != nil {
+		_ = err
+	}
+	_ = mayFail()
+	_, _ = countAndFail()
+	pure() // no error result
+
+	// Allowlist: best-effort console output and never-failing writers.
+	fmt.Println("hello")
+	fmt.Fprintf(os.Stderr, "hello\n")
+	sb.WriteString("x")
+	buf.WriteByte('x')
+
+	// Calls through function values are still flagged.
+	var fn func() error
+	fn() // want `result of call includes an error that is silently dropped`
+
+	// defer and go statements are out of scope in this version.
+	defer f.Close()
+	go mayFail()
+}
+
+// hash.Hash.Write is documented to never return an error.
+func digest(h hash.Hash) {
+	h.Write([]byte("payload"))
+}

@@ -1,0 +1,51 @@
+// Package eventfields is a tlvet golden-file fixture. The // want
+// comments are assertions consumed by golden_test.go.
+package eventfields
+
+import "repro/internal/obs"
+
+type sink struct{}
+
+func (sink) Emit(typ string, fields map[string]any) {}
+
+// notEmit has the wrong arity and must not be treated as an Emit site.
+type notEmit struct{}
+
+func (notEmit) Emit(typ string) {}
+
+const evLocal = "solve_end" // schema value but not an Ev* name
+
+const EvMadeUp = "made_up_event" // Ev* name but not a schema value
+
+func emits(n int) {
+	var s sink
+	var ne notEmit
+
+	s.Emit(obs.EvSolveEnd, map[string]any{"status": "optimal", "newton": 3, "centerings": 1})
+	s.Emit(obs.EvSolveEnd, map[string]any{"status": "optimal", "newton": 3, "centerings": 1, "objective": 1.5, "wall_us": 12})
+
+	s.Emit("solve_end", nil) // want `event type must be a named Ev\* constant`
+	s.Emit(evLocal, nil)     // want `constant evLocal is not one of the Ev\* constants`
+	s.Emit(EvMadeUp, nil)    // want `event type "made_up_event" is not in the thistle-events-v1 schema`
+
+	s.Emit(obs.EvSolveEnd, map[string]any{"status": "optimal", "newton": 3}) // want `event "solve_end" is missing required field "centerings"`
+	s.Emit(obs.EvCentering, nil)                                             // want `missing required field "gap"` `missing required field "newton"` `missing required field "step"`
+
+	s.Emit(obs.EvSolveEnd, map[string]any{
+		"status":     7,       // want `field "status" of event "solve_end" must be string-kinded, got .*int`
+		"newton":     "seven", // want `field "newton" of event "solve_end" must be int-kinded, got .*string`
+		"centerings": 1,
+		"objective":  n,    // ints are acceptable floats
+		"surprise":   true, // want `event "solve_end" has no field "surprise"`
+	})
+
+	// Forwarding sites and dynamically built maps are out of static
+	// reach and must not be flagged.
+	typ := "solve_end"
+	s.Emit(typ, nil)
+	fields := map[string]any{}
+	fields["status"] = "optimal"
+	s.Emit(obs.EvSolveEnd, fields)
+
+	ne.Emit("anything")
+}

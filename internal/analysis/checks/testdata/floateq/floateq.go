@@ -1,0 +1,30 @@
+// Package floateq is a tlvet golden-file fixture; the golden test
+// loads it under a fake import path inside repro/internal/solver so
+// the path-scoped analyzer fires.
+package floateq
+
+func compare(a, b float64, f32a, f32b float32, n int, xs []float64) bool {
+	if a == b { // want `exact float == comparison`
+		return true
+	}
+	if a != b { // want `exact float != comparison`
+		return false
+	}
+	_ = f32a == f32b // want `exact float == comparison`
+
+	// Comparisons against a constant zero are the zero-value sentinel
+	// idiom (withDefaults style) and are exempt.
+	_ = a == 0
+	_ = 0.0 != b
+
+	// Non-zero constants still compare inexactly after arithmetic.
+	const half = 0.5
+	_ = a == half // want `exact float == comparison`
+
+	// Integer and structural comparisons are out of scope.
+	_ = n == 0
+	_ = len(xs) == n
+	_ = a < b
+	_ = a >= b
+	return a+b == b+a // want `exact float == comparison`
+}

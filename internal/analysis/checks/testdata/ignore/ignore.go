@@ -1,0 +1,27 @@
+// Package ignore is a tlvet golden-file fixture for the
+// //tlvet:ignore directive: valid directives (with a reason) suppress
+// findings on their own line or the line below; directives without a
+// reason or naming an unknown analyzer are themselves findings, and
+// suppress nothing.
+package ignore
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func body() {
+	mayFail() // want `result of mayFail includes an error that is silently dropped`
+
+	mayFail() //tlvet:ignore droppederr -- fixture: suppressed on the same line
+
+	//tlvet:ignore droppederr -- fixture: suppressed from the line above
+	mayFail()
+
+	//tlvet:ignore droppederr -- fixture: a directive reaches one line, not two
+
+	mayFail() // want `result of mayFail includes an error that is silently dropped`
+
+	mayFail() //tlvet:ignore droppederr want `ignore directive needs a reason` `result of mayFail includes an error`
+
+	mayFail() //tlvet:ignore nosuchanalyzer -- fixture reason want `ignore directive names unknown analyzer "nosuchanalyzer"` `result of mayFail includes an error`
+}

@@ -1,0 +1,109 @@
+// Package obs is a tlvet golden-file fixture; the golden test loads
+// it under the fake import path repro/internal/obs so the nilrecv
+// type table applies. The Logger declared here impersonates the real
+// obs.Logger.
+package obs
+
+type Logger struct {
+	min int
+	n   int
+}
+
+// Enabled stands in for a nil-safe helper method.
+func (l *Logger) Enabled() bool {
+	return l != nil && l.min > 0 // short-circuit guard protects the deref
+}
+
+func (l *Logger) Guarded() {
+	if l == nil {
+		return
+	}
+	l.n++
+}
+
+func (l *Logger) GuardPanics() {
+	if l == nil {
+		panic("nil Logger")
+	}
+	l.n++
+}
+
+func (l *Logger) GuardAfterDecl() int {
+	var out int
+	if l == nil {
+		return out
+	}
+	return l.n
+}
+
+func (l *Logger) OrGuard() {
+	if l == nil || l.n == 0 { // the == nil operand protects the rest of the condition
+		return
+	}
+	l.n++
+}
+
+func (l *Logger) IfBranch() {
+	if l != nil {
+		l.n++
+	}
+}
+
+func (l *Logger) MethodCallsOnly() {
+	// Method calls on the receiver are assumed nil-safe; no guard
+	// needed until a field is touched.
+	if !l.Enabled() {
+		return
+	}
+	if l == nil {
+		return
+	}
+	l.n++
+}
+
+func (l *Logger) Bad() {
+	l.n++ // want `Bad dereferences receiver l without a nil guard`
+}
+
+func (l *Logger) LateGuard() {
+	l.n++ // want `LateGuard dereferences receiver l without a nil guard`
+	if l == nil {
+		return
+	}
+	l.min++
+}
+
+func (l *Logger) ElseBad() int {
+	if l != nil {
+		return l.n
+	} else {
+		return l.min // want `ElseBad dereferences receiver l without a nil guard`
+	}
+}
+
+func (l *Logger) StarDeref() Logger {
+	return *l // want `StarDeref dereferences receiver l without a nil guard`
+}
+
+func (l *Logger) NonTerminatingGuard() {
+	if l == nil {
+		println("nil Logger") // guard falls through: the deref below still happens when l is nil
+	}
+	l.n++ // want `NonTerminatingGuard dereferences receiver l without a nil guard`
+}
+
+// unexported methods are internal plumbing, outside the documented
+// nil-safety contract.
+func (l *Logger) bad() { l.n++ }
+
+// Value receivers cannot be nil.
+func (l Logger) Count() int { return l.n }
+
+// notNilSafe is not in the nil-safe table; its methods may assume a
+// non-nil receiver.
+type notNilSafe struct{ n int }
+
+func (h *notNilSafe) Bump() { h.n++ }
+
+// Anonymous receivers cannot be dereferenced.
+func (*Logger) Version() int { return 1 }

@@ -1,0 +1,37 @@
+// Package posycoef is a tlvet golden-file fixture.
+package posycoef
+
+import (
+	"repro/internal/expr"
+	"repro/internal/gp"
+)
+
+const negCoeff = -2.5
+
+func build() {
+	vs := &expr.VarSet{}
+	x := vs.NewVar("x")
+	p := gp.New(vs)
+
+	// Positive literals are the normal case.
+	_ = expr.Mono(1, x)
+	_ = expr.MonoPow(0.5, x, -2) // negative exponent is fine; only the coefficient is constrained
+	_ = expr.Const(3)
+	_ = expr.PolyConst(4)
+	_ = expr.PolyConst(0) // documented: the empty posynomial
+	_ = p.AddUpperBound("ub", x, 1024)
+
+	_ = expr.Mono(-1, x)              // want `Mono coefficient must be positive`
+	_ = expr.Mono(0, x)               // want `Mono coefficient must be positive`
+	_ = expr.MonoPow(negCoeff, x, 2)  // want `MonoPow coefficient must be positive`
+	_ = expr.Const(-3)                // want `Const coefficient must be positive`
+	_ = expr.Const(0)                 // want `Const coefficient must be positive`
+	_ = expr.PolyConst(-1)            // want `PolyConst coefficient must be positive`
+	_ = p.AddUpperBound("ub2", x, -8) // want `AddUpperBound coefficient must be positive`
+	_ = p.AddLowerBound("lb", x, 0)   // want `AddLowerBound coefficient must be positive`
+
+	// Runtime values are out of static reach.
+	c := -4.0
+	_ = expr.Const(c)
+	_ = expr.Const(-c)
+}

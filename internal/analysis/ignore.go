@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix starts a suppression directive:
+//
+//	//tlvet:ignore <analyzer> -- <reason>
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory — suppressions must carry their justification in
+// the source, not in review history — so a directive without one is
+// itself reported, as is one naming an analyzer tlvet does not ship.
+const ignorePrefix = "//tlvet:ignore"
+
+// ignoreSet is the parsed suppression state for one package.
+type ignoreSet struct {
+	// byLine maps file -> line -> analyzer names suppressed there.
+	byLine    map[string]map[int]map[string]bool
+	malformed []Finding
+}
+
+func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
+	ig := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				name, reason, haveSep := strings.Cut(rest, "--")
+				name = strings.TrimSpace(name)
+				reason = strings.TrimSpace(reason)
+				switch {
+				case !haveSep || reason == "":
+					ig.malformed = append(ig.malformed, Finding{
+						Analyzer: "tlvet",
+						Message:  `ignore directive needs a reason: //tlvet:ignore <analyzer> -- <reason>`,
+						File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+					})
+				case name == "" || !known[name]:
+					ig.malformed = append(ig.malformed, Finding{
+						Analyzer: "tlvet",
+						Message:  "ignore directive names unknown analyzer " + strconv.Quote(name),
+						File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+					})
+				default:
+					lines := ig.byLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						ig.byLine[pos.Filename] = lines
+					}
+					if lines[pos.Line] == nil {
+						lines[pos.Line] = make(map[string]bool)
+					}
+					lines[pos.Line][name] = true
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// suppresses reports whether a directive on f's line or the line above
+// it names f's analyzer.
+func (ig *ignoreSet) suppresses(f Finding) bool {
+	lines := ig.byLine[f.File]
+	if lines == nil {
+		return false
+	}
+	return lines[f.Line][f.Analyzer] || lines[f.Line-1][f.Analyzer]
+}

@@ -1,0 +1,12 @@
+// Package ignoreform is a fixture for directive-form parsing: one
+// valid directive, one with the separator but no reason, one with no
+// separator, one naming an unknown analyzer.
+package ignoreform
+
+var a = 1 //tlvet:ignore droppederr -- valid: reason present
+
+var b = 2 //tlvet:ignore droppederr --
+
+var c = 3 //tlvet:ignore droppederr
+
+var d = 4 //tlvet:ignore nosuch -- reason

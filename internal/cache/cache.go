@@ -371,7 +371,7 @@ func (c *Cache[V]) storeDisk(sig Signature, v V) {
 		werr = os.Rename(tmp.Name(), path)
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; the warning carries the write error
 		c.o.Logf(obs.Warn, "cache: write %s: %v", path, werr)
 	}
 }

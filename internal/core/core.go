@@ -195,8 +195,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	}
 	// The run-event stream gets an optimize_start/optimize_end pair per
 	// request; optimize_end carries the full row the manifest recorder
-	// folds into the per-layer table (field names match
-	// events.EvOptimizeEnd's required set).
+	// folds into the per-layer table (see events.Schema).
 	emit := o.EventsEnabled()
 	var sig cache.Signature
 	haveSig := sc != nil || emit
@@ -206,7 +205,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	var t0 time.Time
 	if emit {
 		t0 = time.Now()
-		o.Emit("optimize_start", map[string]any{
+		o.Emit(obs.EvOptimizeStart, map[string]any{
 			"problem":   p.Name,
 			"sig":       sig.Short(),
 			"mode":      opts.Mode.String(),
@@ -238,7 +237,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 				f["candidates"] = res.Stats.Candidates
 				f["from_cache"] = res.Stats.FromCache
 			}
-			o.Emit("optimize_end", f)
+			o.Emit(obs.EvOptimizeEnd, f)
 		}
 		return res, err
 	}
@@ -530,6 +529,7 @@ func optimizeOne(ctx context.Context, p *loopnest.Problem, opts Options) (*Resul
 	// across runs regardless of worker completion order (cached and
 	// uncached runs must produce byte-identical results).
 	sort.Slice(solved, func(i, j int) bool {
+		//tlvet:ignore floateq -- sort comparator: tolerance-based equality breaks strict weak ordering
 		if solved[i].objective != solved[j].objective {
 			return solved[i].objective < solved[j].objective
 		}

@@ -48,6 +48,7 @@ func nClosest(cands []int64, target float64, k int) []int64 {
 		s[i] = scored{c, math.Abs(math.Log(float64(c)) - math.Log(target))}
 	}
 	sort.Slice(s, func(i, j int) bool {
+		//tlvet:ignore floateq -- sort comparator: tolerance-based equality breaks strict weak ordering
 		if s[i].d != s[j].d {
 			return s[i].d < s[j].d
 		}

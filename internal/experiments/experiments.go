@@ -313,7 +313,7 @@ func Fig5(cfg Config) (*Experiment, error) {
 func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Options, progress func(workloads.Layer)) ([]*core.Result, error) {
 	o := obs.FromContext(ctx)
 	if o.EventsEnabled() {
-		o.Emit("layers_total", map[string]any{"total": len(layers)})
+		o.Emit(obs.EvLayersTotal, map[string]any{"total": len(layers)})
 	}
 	results := make([]*core.Result, len(layers))
 	first := make(map[cache.Signature]int, len(layers))
@@ -331,10 +331,9 @@ func OptimizeLayers(ctx context.Context, layers []workloads.Layer, opts core.Opt
 			if o.EventsEnabled() {
 				// A reused row with the source layer's numbers, so
 				// manifests of deduplicated whole-network runs still
-				// cover every layer (field names match
-				// events.EvLayerReused's required set).
+				// cover every layer (see events.Schema).
 				rep := results[j].Best.Report
-				o.Emit("layer_reused", map[string]any{
+				o.Emit(obs.EvLayerReused, map[string]any{
 					"problem":        l.Name(),
 					"from":           fromLayer[sig],
 					"sig":            sig.Short(),

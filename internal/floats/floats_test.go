@@ -1,0 +1,68 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqTol(t *testing.T) {
+	inf := math.Inf(1)
+	nan := math.NaN()
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 1e-9, true},
+		{0, 0, 1e-9, true},
+		{1, 1 + 1e-12, 1e-9, true},   // within relative tol
+		{1, 1 + 1e-6, 1e-9, false},   // outside relative tol
+		{1e12, 1e12 + 1, 1e-9, true}, // tol scales with magnitude
+		{1e-15, 0, 1e-9, true},       // absolute floor near zero
+		{1e-15, 0, 1e-18, false},     // ...unless tol is tighter
+		{-1, 1, 1e-9, false},
+		{inf, inf, 1e-9, true},
+		{inf, -inf, 1e-9, false},
+		{inf, 1e300, 1e-9, false},
+		{nan, nan, 1e-9, false},
+		{nan, 1, 1e-9, false},
+	}
+	for _, c := range cases {
+		if got := EqTol(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("EqTol(%g, %g, %g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestEqUsesDefaultTol(t *testing.T) {
+	if !Eq(1, 1+1e-12) {
+		t.Error("Eq(1, 1+1e-12) = false, want true")
+	}
+	if Eq(1, 1+1e-6) {
+		t.Error("Eq(1, 1+1e-6) = true, want false")
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	cases := []struct {
+		old, new, want float64
+	}{
+		{100, 110, 0.1},
+		{100, 90, -0.1},
+		{-100, -110, -0.1}, // growth is relative to |old|
+		{0, 0, 0},
+		{0, 5, math.Inf(1)},
+		{0, -5, math.Inf(-1)},
+	}
+	for _, c := range cases {
+		got := RelDiff(c.old, c.new)
+		if math.IsInf(c.want, 0) {
+			if got != c.want {
+				t.Errorf("RelDiff(%g, %g) = %g, want %g", c.old, c.new, got, c.want)
+			}
+			continue
+		}
+		if !EqTol(got, c.want, 1e-12) {
+			t.Errorf("RelDiff(%g, %g) = %g, want %g", c.old, c.new, got, c.want)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/expr"
+	"repro/internal/floats"
 	"repro/internal/linalg"
 	"repro/internal/solver"
 )
@@ -211,7 +212,7 @@ func (p *Program) CheckFeasible(x []float64, tol float64) []string {
 		}
 	}
 	for _, m := range p.Eq {
-		if v := m.Eval(x); math.Abs(v-1) > tol {
+		if v := m.Eval(x); !floats.EqTol(v, 1, tol) {
 			bad = append(bad, fmt.Sprintf("equality %s", m.String(p.Vars)))
 		}
 	}

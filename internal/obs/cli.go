@@ -71,7 +71,7 @@ func (f *Flags) Setup(logw io.Writer) (*Obs, error) {
 			return nil, err
 		}
 		if err := pprof.StartCPUProfile(cf); err != nil {
-			cf.Close()
+			_ = cf.Close()
 			return nil, err
 		}
 		f.cpuFile = cf
@@ -109,12 +109,12 @@ func (f *Flags) Setup(logw io.Writer) (*Obs, error) {
 func (f *Flags) Close() {
 	if f.cpuFile != nil {
 		pprof.StopCPUProfile()
-		f.cpuFile.Close()
+		_ = f.cpuFile.Close()
 		f.cpuFile = nil
 	}
 	for _, file := range []**os.File{&f.memFile, &f.traceOut, &f.metricsFile} {
 		if *file != nil {
-			(*file).Close()
+			_ = (*file).Close()
 			*file = nil
 		}
 	}
@@ -126,8 +126,11 @@ func (f *Flags) Close() {
 func (f *Flags) Finish(metricsOut io.Writer) error {
 	if f.cpuFile != nil {
 		pprof.StopCPUProfile()
-		f.cpuFile.Close()
+		cf := f.cpuFile
 		f.cpuFile = nil
+		if err := cf.Close(); err != nil {
+			return err
+		}
 	}
 	if mf := f.memFile; mf != nil {
 		f.memFile = nil

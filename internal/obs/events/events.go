@@ -26,6 +26,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SchemaVersion tags the event-stream format. It is written into the
@@ -46,52 +48,23 @@ type Event struct {
 	Fields map[string]any `json:"fields,omitempty"`
 }
 
-// Event types emitted by the pipeline, outermost to innermost.
+// Event types emitted by the pipeline, outermost to innermost. The
+// canonical declarations live in package obs (so the solver, core, and
+// experiments layers can emit them without importing this package);
+// they are re-exported here under the same names for the CLI layer.
+// Schema (schema.go) describes the fields each type carries.
 const (
-	// EvRunStart opens every stream: run_id, tool, go_version, git_rev,
-	// args, start_time.
-	EvRunStart = "run_start"
-	// EvRunEnd closes a stream with run totals.
-	EvRunEnd = "run_end"
-	// EvLayersTotal announces how many layers a sweep will optimize
-	// (drives the -status-addr progress display).
-	EvLayersTotal = "layers_total"
-	// EvOptimizeStart marks one core.Optimize entry: problem, mode,
-	// criterion, and the solve-cache content signature.
-	EvOptimizeStart = "optimize_start"
-	// EvOptimizeEnd carries the optimize outcome: the design point's
-	// energy/cycles/EDP, search effort, and cache disposition.
-	EvOptimizeEnd = "optimize_end"
-	// EvLayerReused marks a layer served by cross-layer dedup in
-	// experiments.OptimizeLayers (same signature as an earlier layer).
-	EvLayerReused = "layer_reused"
-	// EvSolveEnd summarizes one GP barrier solve: status, Newton
-	// iterations, centerings, objective, wall time.
-	EvSolveEnd = "solve_end"
-	// EvCentering is one barrier centering step: duality gap, Newton
-	// count, line-search backtracks, convergence.
-	EvCentering = "centering"
-	// EvMapperEnd summarizes one randomized-mapper search.
-	EvMapperEnd = "mapper_end"
-	// EvModelValidate carries a tlmodel constraint-check outcome.
-	EvModelValidate = "model_validate"
+	EvRunStart      = obs.EvRunStart
+	EvRunEnd        = obs.EvRunEnd
+	EvLayersTotal   = obs.EvLayersTotal
+	EvOptimizeStart = obs.EvOptimizeStart
+	EvOptimizeEnd   = obs.EvOptimizeEnd
+	EvLayerReused   = obs.EvLayerReused
+	EvSolveEnd      = obs.EvSolveEnd
+	EvCentering     = obs.EvCentering
+	EvMapperEnd     = obs.EvMapperEnd
+	EvModelValidate = obs.EvModelValidate
 )
-
-// requiredFields lists, per known event type, the fields Validate
-// demands. Unknown event types pass validation (forward compatibility);
-// known types missing required fields fail it.
-var requiredFields = map[string][]string{
-	EvRunStart:      {"run_id", "tool", "go_version"},
-	EvRunEnd:        {"layers", "energy_pj", "cycles", "edp", "wall_us"},
-	EvLayersTotal:   {"total"},
-	EvOptimizeStart: {"problem"},
-	EvOptimizeEnd:   {"problem", "status"},
-	EvLayerReused:   {"problem", "from"},
-	EvSolveEnd:      {"status", "newton", "centerings"},
-	EvCentering:     {"step", "gap", "newton"},
-	EvMapperEnd:     {"problem", "trials"},
-	EvModelValidate: {"problem", "valid"},
-}
 
 // Emitter writes the JSONL stream. It is safe for concurrent use; Emit
 // never returns an error (the stream is telemetry, not a correctness
@@ -223,11 +196,14 @@ type StreamSummary struct {
 	Warnings []string
 }
 
-// Validate checks a stream against the schema: the first event must be
-// run_start carrying the current SchemaVersion and its required fields,
-// sequence numbers must be strictly increasing, and every known event
-// type must carry its required fields. A missing run_end (crash) and a
-// truncated final line are warnings, not errors.
+// Validate checks a stream against the schema table (Schema): the
+// first event must be run_start carrying the current SchemaVersion and
+// its required fields, sequence numbers must be strictly increasing,
+// and every known event type must carry its required fields with
+// schema-conformant values. Unknown event types pass validation and
+// unknown fields on known types are warnings (forward compatibility);
+// a missing run_end (crash) and a truncated final line are also
+// warnings, not errors.
 func Validate(r io.Reader) (*StreamSummary, error) {
 	events, warnings, err := ReadStream(r)
 	if err != nil {
@@ -243,6 +219,7 @@ func Validate(r io.Reader) (*StreamSummary, error) {
 	if first.Schema != SchemaVersion {
 		return nil, fmt.Errorf("%w: schema %q, want %q", ErrBadStream, first.Schema, SchemaVersion)
 	}
+	schema := Schema()
 	sum := &StreamSummary{ByType: map[string]int{}, Warnings: warnings}
 	prevSeq := int64(0)
 	for i, ev := range events {
@@ -250,10 +227,28 @@ func Validate(r io.Reader) (*StreamSummary, error) {
 			return nil, fmt.Errorf("%w: event %d: seq %d not increasing (previous %d)", ErrBadStream, i, ev.Seq, prevSeq)
 		}
 		prevSeq = ev.Seq
-		if req, known := requiredFields[ev.Type]; known {
-			for _, field := range req {
-				if _, ok := ev.Fields[field]; !ok {
+		if spec, known := schema[ev.Type]; known {
+			for field, kind := range spec.Required {
+				v, ok := ev.Fields[field]
+				if !ok {
 					return nil, fmt.Errorf("%w: event %d (%s): missing required field %q", ErrBadStream, i, ev.Type, field)
+				}
+				if err := kind.CheckValue(v); err != nil {
+					return nil, fmt.Errorf("%w: event %d (%s): field %q: %v", ErrBadStream, i, ev.Type, field, err)
+				}
+			}
+			for field, v := range ev.Fields {
+				kind, known := spec.Kind(field)
+				if !known {
+					sum.Warnings = append(sum.Warnings,
+						fmt.Sprintf("event %d (%s): unknown field %q", i, ev.Type, field))
+					continue
+				}
+				if _, req := spec.Required[field]; req {
+					continue // already checked
+				}
+				if err := kind.CheckValue(v); err != nil {
+					return nil, fmt.Errorf("%w: event %d (%s): field %q: %v", ErrBadStream, i, ev.Type, field, err)
 				}
 			}
 		}
@@ -291,11 +286,9 @@ func Multi(sinks ...sink) sink {
 	return multiSink(active)
 }
 
-// sink mirrors obs.EventSink without importing it (obs must not know
-// this package; the interfaces are structurally identical).
-type sink interface {
-	Emit(typ string, fields map[string]any)
-}
+// sink is the consumer side of the event stream; obs must not know this
+// package, so the shared interface is declared there.
+type sink = obs.EventSink
 
 type multiSink []sink
 

@@ -127,7 +127,7 @@ func (f *Flags) Finish(cacheStats *CacheStats) error {
 // Close releases resources without writing the manifest (for error
 // paths); idempotent alongside Finish.
 func (f *Flags) Close() {
-	f.closeSinks()
+	_ = f.closeSinks() // error path: the original failure is what matters
 }
 
 func (f *Flags) closeSinks() error {
@@ -139,7 +139,9 @@ func (f *Flags) closeSinks() error {
 		f.em = nil
 	}
 	if f.srv != nil {
-		f.srv.Close()
+		if err := f.srv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 		f.srv = nil
 	}
 	return firstErr

@@ -28,7 +28,7 @@ func StartStatusServer(addr string, reg *obs.Registry, rec *Recorder) (*StatusSe
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		reg.Snapshot().WritePrometheus(w)
+		_ = reg.Snapshot().WritePrometheus(w) // best effort: the client may be gone
 	})
 	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -114,7 +114,7 @@ func WriteManifest(path string, m *Manifest) error {
 		werr = os.Rename(tmp.Name(), path)
 	}
 	if werr != nil {
-		os.Remove(tmp.Name())
+		_ = os.Remove(tmp.Name()) // best-effort cleanup; report the write error
 		return werr
 	}
 	return nil
@@ -223,8 +223,12 @@ func (r *Recorder) RunID() string {
 	return r.man.RunID
 }
 
-// StartFields returns the run_start event payload matching this record.
+// StartFields returns the run_start event payload matching this
+// record, or nil for a nil receiver.
 func (r *Recorder) StartFields() map[string]any {
+	if r == nil {
+		return nil
+	}
 	return map[string]any{
 		"run_id":     r.man.RunID,
 		"tool":       r.man.Tool,
@@ -286,6 +290,9 @@ func rowFromFields(fields map[string]any, reused bool) LayerResult {
 // recorder can keep receiving events afterwards, but they will not be
 // reflected in the returned copy.
 func (r *Recorder) Finish(cs *CacheStats, metrics *obs.Snapshot) *Manifest {
+	if r == nil {
+		return &Manifest{}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.man.WallUS = time.Since(r.start).Microseconds()

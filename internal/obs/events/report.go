@@ -6,6 +6,8 @@ import (
 	"math"
 	"text/tabwriter"
 	"time"
+
+	"repro/internal/floats"
 )
 
 // LoadManifests loads several manifests, skipping corrupt ones with a
@@ -172,7 +174,7 @@ func Diff(oldM, newM *Manifest, opts DiffOptions) *DiffResult {
 
 // compare classifies one metric pair against a tolerance.
 func (d *DiffResult) compare(layer, metric string, oldV, newV, tol float64) {
-	if oldV == newV {
+	if floats.Eq(oldV, newV) {
 		return
 	}
 	var ratio float64

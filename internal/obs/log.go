@@ -90,7 +90,7 @@ func (l *Logger) SetLevel(lvl Level) {
 // the level is disabled, but the variadic boxing is not — guard calls
 // with Enabled on hot paths.
 func (l *Logger) Logf(lvl Level, format string, args ...any) {
-	if !l.Enabled(lvl) {
+	if l == nil || !l.Enabled(lvl) {
 		return
 	}
 	ts := l.now().Format("15:04:05.000")

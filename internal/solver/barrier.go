@@ -131,8 +131,7 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 		hist.Observe(time.Since(t0))
 	}
 	if o.EventsEnabled() {
-		// Field names match events.EvSolveEnd's required set.
-		o.Emit("solve_end", map[string]any{
+		o.Emit(obs.EvSolveEnd, map[string]any{
 			"status":     res.Status.String(),
 			"newton":     res.Newton,
 			"centerings": res.Centerings,
@@ -262,8 +261,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			}
 			gap := float64(m) / t
 			if emit {
-				// Field names match events.EvCentering's required set.
-				opts.Obs.Emit("centering", map[string]any{
+				opts.Obs.Emit(obs.EvCentering, map[string]any{
 					"step":       centerings,
 					"t":          t,
 					"gap":        gap,

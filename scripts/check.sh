@@ -1,5 +1,8 @@
 #!/bin/sh
 # check.sh runs the repository's pre-merge gate: gofmt, build, vet, the
+# tlvet static-analysis suite (project-specific invariants: event
+# schema conformance, posynomial coefficient positivity, float
+# comparison discipline, nil-receiver safety, dropped errors), the
 # short test suite, a race-detector pass over the concurrent packages
 # (mapper worker pool, core parallel GP loop, solver hooks, obs, cache
 # singleflight), and an end-to-end run-report gate: a small workload is
@@ -23,6 +26,9 @@ go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+echo "== tlvet (project-specific static analysis)"
+go run ./cmd/tlvet .
 
 echo "== go test -short ./..."
 go test -short ./...
