@@ -11,6 +11,7 @@ package repro
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/arch"
@@ -428,6 +429,60 @@ func BenchmarkNetworkWarmCache(b *testing.B) {
 				}
 			}
 		}
+	})
+}
+
+// BenchmarkNetworkScheduler compares whole-network optimization run
+// strictly sequentially (one core.OptimizeContext call per layer, one
+// layer at a time) against the scheduled path (OptimizeLayers
+// submitting every layer into one shared bounded scheduler sized by
+// NumCPU). The layer set is filtered to distinct solve signatures so
+// signature dedup cannot shortcut the scheduled side — the comparison
+// is pure scheduling. The reported "cores" metric is GOMAXPROCS:
+// single-core machines show parity, multi-core machines show the
+// cross-layer speedup.
+func BenchmarkNetworkScheduler(b *testing.B) {
+	all := workloads.ResNet18()
+	a := arch.Eyeriss()
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a}
+	var layers []workloads.Layer
+	seen := map[cache.Signature]bool{}
+	for _, l := range all {
+		p, err := l.Problem()
+		if err != nil {
+			b.Fatal(err)
+		}
+		sig := core.SolveSignature(p, opts)
+		if !seen[sig] {
+			seen[sig] = true
+			layers = append(layers, l)
+		}
+		if len(layers) == 4 {
+			break
+		}
+	}
+	cores := float64(runtime.GOMAXPROCS(0))
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, l := range layers {
+				p, err := l.Problem()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.OptimizeContext(context.Background(), p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(cores, "cores")
+	})
+	b.Run("scheduled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.OptimizeLayers(context.Background(), layers, opts, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(cores, "cores")
 	})
 }
 

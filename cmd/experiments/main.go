@@ -20,11 +20,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/obs"
-	"repro/internal/obs/events"
 )
 
 func main() {
@@ -42,26 +40,18 @@ func run() error {
 		plot  = flag.Bool("plot", false, "render textual bar charts instead of plain tables")
 		seed  = flag.Int64("seed", 1, "random seed for the mapper baseline")
 	)
-	var obsFlags obs.Flags
-	obsFlags.Register(flag.CommandLine)
-	var cacheFlags cache.Flags
-	cacheFlags.Register(flag.CommandLine)
-	var evFlags events.Flags
-	evFlags.Register(flag.CommandLine)
+	var rf cliutil.Flags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
-	o, err := obsFlags.Setup(os.Stderr)
+	rt, err := rf.Setup("experiments", os.Args[1:], os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer obsFlags.Close()
-	if o, err = evFlags.Setup(o, "experiments", os.Args[1:], os.Stderr); err != nil {
-		return err
-	}
-	defer evFlags.Close()
-	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
+	defer rt.Close()
+	sc := cliutil.OpenCache[*core.Result](rt, "optimize")
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: o, Cache: sc}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Progress: os.Stderr, Obs: rt.Obs, Cache: sc}
 	runners := experiments.AllRunners()
 
 	var ids []string
@@ -104,28 +94,8 @@ func run() error {
 			}
 		}
 	}
-	if cacheFlags.ShowStats {
+	if rt.ShowCacheStats() {
 		sc.WriteStats(os.Stdout)
 	}
-	if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
-		return err
-	}
-	return obsFlags.Finish(os.Stdout)
-}
-
-// cacheStatsOf converts the solve cache's counters for the manifest,
-// returning nil for an unused cache (so the manifest omits the block).
-func cacheStatsOf(s cache.Stats) *events.CacheStats {
-	if s.Hits+s.Misses == 0 {
-		return nil
-	}
-	return &events.CacheStats{
-		Hits:              s.Hits,
-		Misses:            s.Misses,
-		DiskHits:          s.DiskHits,
-		SingleflightWaits: s.SingleflightWaits,
-		Stores:            s.Stores,
-		Evictions:         s.Evictions,
-		HitRate:           s.HitRate(),
-	}
+	return rt.Finish(os.Stdout, sc.Stats())
 }

@@ -23,14 +23,13 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/arch"
-	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/loopnest"
 	"repro/internal/model"
 	"repro/internal/obs"
-	"repro/internal/obs/events"
 	"repro/internal/specs"
 	"repro/internal/workloads"
 	"repro/internal/yamlite"
@@ -64,25 +63,19 @@ func run() error {
 		stride    = flag.Int64("stride", 1, "stride (explicit conv)")
 		dilation  = flag.Int64("dilation", 1, "dilation (explicit conv)")
 		nocHop    = flag.Float64("noc", 0, "NoC energy per word-hop in pJ (0 disables, the paper's setting)")
+		parallel  = flag.Int("parallel", 0, "total concurrent solve/integerize jobs across all layers (0 = NumCPU)")
 	)
-	var obsFlags obs.Flags
-	obsFlags.Register(flag.CommandLine)
-	var cacheFlags cache.Flags
-	cacheFlags.Register(flag.CommandLine)
-	var evFlags events.Flags
-	evFlags.Register(flag.CommandLine)
+	var rf cliutil.Flags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
-	o, err := obsFlags.Setup(os.Stderr)
+	rt, err := rf.Setup("thistle", os.Args[1:], os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer obsFlags.Close()
-	if o, err = evFlags.Setup(o, "thistle", os.Args[1:], os.Stderr); err != nil {
-		return err
-	}
-	defer evFlags.Close()
-	sc := cache.Setup[*core.Result](&cacheFlags, "optimize", o)
+	defer rt.Close()
+	o := rt.Obs
+	sc := cliutil.OpenCache[*core.Result](rt, "optimize")
 	ctx := obs.NewContext(context.Background(), o)
 	ctx = core.ContextWithCache(ctx, sc)
 
@@ -112,7 +105,7 @@ func run() error {
 	}
 	a.Tech.EnergyNoCHop = *nocHop
 
-	opts := core.Options{Arch: &a, NDiv: *nDiv, AreaBudget: *area}
+	opts := core.Options{Arch: &a, NDiv: *nDiv, AreaBudget: *area, Parallel: *parallel}
 	switch *criterion {
 	case "energy":
 		opts.Criterion = model.MinEnergy
@@ -136,13 +129,10 @@ func run() error {
 		if err := runPipeline(ctx, *pipeline, opts); err != nil {
 			return err
 		}
-		if cacheFlags.ShowStats {
+		if rt.ShowCacheStats() {
 			sc.WriteStats(os.Stdout)
 		}
-		if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
-			return err
-		}
-		return obsFlags.Finish(os.Stdout)
+		return rt.Finish(os.Stdout, sc.Stats())
 	}
 
 	res, err := core.OptimizeContext(ctx, prob, opts)
@@ -192,30 +182,10 @@ func run() error {
 		fmt.Println("--- tiled loop nest ---")
 		fmt.Print(code)
 	}
-	if cacheFlags.ShowStats {
+	if rt.ShowCacheStats() {
 		sc.WriteStats(os.Stdout)
 	}
-	if err := evFlags.Finish(cacheStatsOf(sc.Stats())); err != nil {
-		return err
-	}
-	return obsFlags.Finish(os.Stdout)
-}
-
-// cacheStatsOf converts the solve cache's counters for the manifest,
-// returning nil for an unused cache (so the manifest omits the block).
-func cacheStatsOf(s cache.Stats) *events.CacheStats {
-	if s.Hits+s.Misses == 0 {
-		return nil
-	}
-	return &events.CacheStats{
-		Hits:              s.Hits,
-		Misses:            s.Misses,
-		DiskHits:          s.DiskHits,
-		SingleflightWaits: s.SingleflightWaits,
-		Stores:            s.Stores,
-		Evictions:         s.Evictions,
-		HitRate:           s.HitRate(),
-	}
+	return rt.Finish(os.Stdout, sc.Stats())
 }
 
 // runPipeline optimizes every layer of a pipeline and prints one TSV row

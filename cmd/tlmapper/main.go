@@ -16,11 +16,11 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/dataflow"
 	"repro/internal/loopnest"
 	"repro/internal/mapper"
 	"repro/internal/model"
-	"repro/internal/obs"
 	"repro/internal/obs/events"
 	"repro/internal/specs"
 	"repro/internal/workloads"
@@ -47,24 +47,17 @@ func run() error {
 		emit      = flag.Bool("specs", false, "print the best mapping as a spec")
 		consFile  = flag.String("constraints", "", "constraints spec file (pins factors/permutations)")
 	)
-	var obsFlags obs.Flags
-	obsFlags.Register(flag.CommandLine)
-	var cacheFlags cache.Flags
-	cacheFlags.Register(flag.CommandLine)
-	var evFlags events.Flags
-	evFlags.Register(flag.CommandLine)
+	var rf cliutil.Flags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
-	o, err := obsFlags.Setup(os.Stderr)
+	rt, err := rf.Setup("tlmapper", os.Args[1:], os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer obsFlags.Close()
-	if o, err = evFlags.Setup(o, "tlmapper", os.Args[1:], os.Stderr); err != nil {
-		return err
-	}
-	defer evFlags.Close()
-	mc := cache.Setup[*mapper.Result](&cacheFlags, "mapper", o)
+	defer rt.Close()
+	o := rt.Obs
+	mc := cliutil.OpenCache[*mapper.Result](rt, "mapper")
 
 	var prob *loopnest.Problem
 	switch {
@@ -203,28 +196,8 @@ func run() error {
 		fmt.Println("--- mapping ---")
 		fmt.Print(yamlite.Encode(node))
 	}
-	if cacheFlags.ShowStats {
+	if rt.ShowCacheStats() {
 		mc.WriteStats(os.Stdout)
 	}
-	if err := evFlags.Finish(cacheStatsOf(mc.Stats())); err != nil {
-		return err
-	}
-	return obsFlags.Finish(os.Stdout)
-}
-
-// cacheStatsOf converts the mapper cache's counters for the manifest,
-// returning nil for an unused cache (so the manifest omits the block).
-func cacheStatsOf(s cache.Stats) *events.CacheStats {
-	if s.Hits+s.Misses == 0 {
-		return nil
-	}
-	return &events.CacheStats{
-		Hits:              s.Hits,
-		Misses:            s.Misses,
-		DiskHits:          s.DiskHits,
-		SingleflightWaits: s.SingleflightWaits,
-		Stores:            s.Stores,
-		Evictions:         s.Evictions,
-		HitRate:           s.HitRate(),
-	}
+	return rt.Finish(os.Stdout, mc.Stats())
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/cache"
+	"repro/internal/cliutil"
 	"repro/internal/dataflow"
 	"repro/internal/model"
 	"repro/internal/obs"
@@ -40,24 +41,17 @@ func run() error {
 		archFile = flag.String("arch", "", "architecture spec file")
 		mapFile  = flag.String("mapping", "", "mapping spec file")
 	)
-	var obsFlags obs.Flags
-	obsFlags.Register(flag.CommandLine)
-	var cacheFlags cache.Flags
-	cacheFlags.Register(flag.CommandLine)
-	var evFlags events.Flags
-	evFlags.Register(flag.CommandLine)
+	var rf cliutil.Flags
+	rf.Register(flag.CommandLine)
 	flag.Parse()
 
-	o, err := obsFlags.Setup(os.Stderr)
+	rt, err := rf.Setup("tlmodel", os.Args[1:], os.Stderr)
 	if err != nil {
 		return err
 	}
-	defer obsFlags.Close()
-	if o, err = evFlags.Setup(o, "tlmodel", os.Args[1:], os.Stderr); err != nil {
-		return err
-	}
-	defer evFlags.Close()
-	rc := cache.Setup[*model.Report](&cacheFlags, "model", o)
+	defer rt.Close()
+	o := rt.Obs
+	rc := cliutil.OpenCache[*model.Report](rt, "model")
 
 	parseSpan := o.StartSpan(nil, "parse-specs")
 	var probNode, archNode, mapNode *yamlite.Node
@@ -151,15 +145,12 @@ func run() error {
 	fmt.Printf("PEs used:      %d (%.0f%% utilization)\n", rep.PEsUsed, 100*rep.Utilization)
 	fmt.Printf("traffic:       %.4g words S<->R, %.4g words D<->S\n", rep.TrafficSR, rep.TrafficDS)
 	fmt.Printf("footprints:    %.0f register words/PE, %.0f SRAM words\n", rep.RegFootprint, rep.SRAMFootprint)
-	if cacheFlags.ShowStats {
+	if rt.ShowCacheStats() {
 		rc.WriteStats(os.Stdout)
 	}
 	if rep.Valid() {
 		fmt.Println("constraints:   ok")
-		if err := evFlags.Finish(cacheStatsOf(rc.Stats())); err != nil {
-			return err
-		}
-		return obsFlags.Finish(os.Stdout)
+		return rt.Finish(os.Stdout, rc.Stats())
 	}
 	fmt.Println("constraints:   VIOLATED")
 	for _, v := range rep.Violations {
@@ -167,31 +158,11 @@ func run() error {
 	}
 	// Violations exit non-zero, but the run record still completes: a
 	// failed validation is exactly what the event stream should capture.
-	if err := evFlags.Finish(cacheStatsOf(rc.Stats())); err != nil {
-		fmt.Fprintln(os.Stderr, "tlmodel:", err)
-	}
-	if err := obsFlags.Finish(os.Stdout); err != nil {
+	if err := rt.Finish(os.Stdout, rc.Stats()); err != nil {
 		fmt.Fprintln(os.Stderr, "tlmodel:", err)
 	}
 	os.Exit(2)
 	return nil
-}
-
-// cacheStatsOf converts the model cache's counters for the manifest,
-// returning nil for an unused cache (so the manifest omits the block).
-func cacheStatsOf(s cache.Stats) *events.CacheStats {
-	if s.Hits+s.Misses == 0 {
-		return nil
-	}
-	return &events.CacheStats{
-		Hits:              s.Hits,
-		Misses:            s.Misses,
-		DiskHits:          s.DiskHits,
-		SingleflightWaits: s.SingleflightWaits,
-		Stores:            s.Stores,
-		Evictions:         s.Evictions,
-		HitRate:           s.HitRate(),
-	}
 }
 
 func parseFile(path string) (*yamlite.Node, string, error) {

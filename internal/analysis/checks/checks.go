@@ -19,6 +19,7 @@ func All() []*analysis.Analyzer {
 		FloatEq,
 		NilRecv,
 		PosyCoef,
+		StageDep,
 	}
 }
 

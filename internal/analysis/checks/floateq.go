@@ -11,7 +11,8 @@ import (
 )
 
 // FloatEq flags exact ==/!= between floating-point operands in the
-// numerical packages (internal/solver, internal/model, internal/core),
+// numerical packages (internal/solver, internal/model, internal/core,
+// internal/pipeline),
 // where two mathematically equal quantities computed along different
 // code paths rarely compare equal bit-for-bit. Use floats.Eq or
 // floats.EqTol from repro/internal/floats instead.
@@ -29,6 +30,7 @@ var floatEqPkgs = []string{
 	"repro/internal/solver",
 	"repro/internal/model",
 	"repro/internal/core",
+	"repro/internal/pipeline",
 }
 
 func floatEqInScope(path string) bool {

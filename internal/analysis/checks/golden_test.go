@@ -26,6 +26,7 @@ func TestGolden(t *testing.T) {
 		{NilRecv, "nilrecv", "repro/internal/obs"},
 		{DroppedErr, "droppederr", "repro/internal/analysis/checks/testdata/droppederr"},
 		{DroppedErr, "ignore", "repro/internal/analysis/checks/testdata/ignore"},
+		{StageDep, "stagedep", "repro/internal/pipeline/testfixture"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

@@ -1,0 +1,86 @@
+package checks
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// StageDep enforces the optimization pipeline's layering: files in
+// repro/internal/pipeline (the staged Enumerate→…→Select engine) may
+// only import downward — the numeric and modeling packages listed in
+// stageDepAllowed — never the core facade, the experiments driver, or
+// a command. An upward import would recreate the cycle the pipeline
+// extraction removed (core wraps pipeline, not the reverse) and let
+// stage code reach around the facade's caching and event emission.
+var StageDep = &analysis.Analyzer{
+	Name: "stagedep",
+	Doc:  "pipeline stages may only import downward (arch/cache/dataflow/expr/floats/gp/linalg/loopnest/model/obs/solver)",
+	Run:  runStageDep,
+}
+
+const stageDepPkg = "repro/internal/pipeline"
+
+// stageDepAllowed is the set of module-internal packages the pipeline
+// may depend on, each allowed together with its subpackages.
+var stageDepAllowed = []string{
+	"repro/internal/arch",
+	"repro/internal/cache",
+	"repro/internal/dataflow",
+	"repro/internal/expr",
+	"repro/internal/floats",
+	"repro/internal/gp",
+	"repro/internal/linalg",
+	"repro/internal/loopnest",
+	"repro/internal/model",
+	"repro/internal/obs",
+	"repro/internal/solver",
+}
+
+func stageDepInScope(path string) bool {
+	return path == stageDepPkg || strings.HasPrefix(path, stageDepPkg+"/")
+}
+
+func stageDepOK(path string) bool {
+	for _, p := range stageDepAllowed {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func runStageDep(pass *analysis.Pass) {
+	if !stageDepInScope(pass.Path()) {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			// The standard library and the pipeline's own subpackages
+			// are always fine; only module-internal imports are layered.
+			if !strings.HasPrefix(path, "repro/") || stageDepInScope(path) {
+				continue
+			}
+			if stageDepOK(path) {
+				continue
+			}
+			pass.Reportf(imp.Path.Pos(),
+				"pipeline imports %s, which is above it in the layering; stages may only import downward (%s)",
+				path, strings.Join(shortNames(stageDepAllowed), "/"))
+		}
+	}
+}
+
+// shortNames strips the repro/internal/ prefix for a compact message.
+func shortNames(paths []string) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = strings.TrimPrefix(p, "repro/internal/")
+	}
+	return out
+}

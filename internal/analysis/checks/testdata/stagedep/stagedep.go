@@ -1,0 +1,20 @@
+// Package stagedep is a tlvet golden-file fixture; the golden test
+// loads it under a fake import path inside repro/internal/pipeline so
+// the path-scoped layering analyzer fires. Downward imports (obs and
+// its subpackages, the modeling stack) are allowed; importing the core
+// facade that wraps the pipeline is an upward dependency.
+package stagedep
+
+import (
+	"repro/internal/core" // want `pipeline imports repro/internal/core, which is above it in the layering`
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/obs/events"
+)
+
+var (
+	_ = core.ErrNoDesign
+	_ = model.MinEnergy
+	_ = obs.Debug
+	_ = events.SchemaVersion
+)

@@ -1,14 +1,22 @@
+// Package core implements the Thistle optimizer of the paper: for a
+// loop-nest problem it enumerates pruned tile-loop permutation classes,
+// generates one constrained geometric program per class combination
+// (dataflow-only for a fixed architecture, or architecture-dataflow
+// co-design under an area budget), solves them with the interior-point
+// backend, converts the real solutions to integer mappings via
+// divisor-ladder candidate generation, evaluates the candidates with the
+// Timeloop-substitute model, and returns the best design point.
+//
+// The staged flow itself lives in internal/pipeline (Enumerate →
+// Formulate → Solve → Integerize → Validate → Select, sharing one
+// bounded scheduler); this package is the stable facade that layers
+// result caching and the run-event stream on top of it. The optimizer's
+// option, result, and error types are aliases of the pipeline's, so the
+// two packages' values interchange freely.
 package core
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"math"
-	"runtime"
-	"slices"
-	"sort"
-	"sync"
 	"time"
 
 	"repro/internal/arch"
@@ -17,156 +25,36 @@ import (
 	"repro/internal/loopnest"
 	"repro/internal/model"
 	"repro/internal/obs"
-	"repro/internal/solver"
+	"repro/internal/pipeline"
 )
 
 // ErrNoDesign is returned when no feasible design point was found.
-var ErrNoDesign = errors.New("core: no feasible design point")
+var ErrNoDesign = pipeline.ErrNoDesign
+
+// Mode selects between dataflow-only optimization on a fixed architecture
+// and full architecture-dataflow co-design.
+type Mode = pipeline.Mode
+
+const (
+	// FixedArch optimizes the dataflow for a given architecture (the
+	// paper's Figs. 4 and 7 setting).
+	FixedArch = pipeline.FixedArch
+	// CoDesign additionally optimizes P, R, and S under an area budget
+	// (Figs. 5, 6, and 8).
+	CoDesign = pipeline.CoDesign
+)
 
 // Options configures an Optimize run. Zero values select defaults.
-type Options struct {
-	// Criterion is energy or delay minimization.
-	Criterion model.Criterion
-	// Mode selects fixed-architecture dataflow optimization or co-design.
-	Mode Mode
-	// Arch is the target architecture (FixedArch) or, in CoDesign mode,
-	// supplies the technology constants. Defaults to Eyeriss.
-	Arch *arch.Arch
-	// AreaBudget bounds the chip area in CoDesign mode. Defaults to the
-	// Eyeriss-equal area of the paper's evaluation.
-	AreaBudget float64
-	// NDiv is the paper's n: divisor candidates per tile variable
-	// (default 2).
-	NDiv int
-	// NPow2 is the paper's N: power-of-two candidates per capacity
-	// variable (default 2).
-	NPow2 int
-	// MinUtilization filters fixed-arch integer candidates (default 0,
-	// i.e. disabled; the paper mentions a threshold without a value).
-	MinUtilization float64
-	// MaxCandidates caps the integerization cross product (default 65536).
-	MaxCandidates int
-	// TopClasses is how many best GP class pairs are integerized
-	// (default 3).
-	TopClasses int
-	// Parallel is the GP-solving worker count (default NumCPU).
-	Parallel int
-	// Nest customizes the tiling structure. Nest.RS is ignored when
-	// RSPlacements is nil (the default), which tries both placements.
-	Nest dataflow.StandardOptions
-	// RSPlacements lists the placements of the untiled kernel loops to
-	// try, keeping the best feasible design. Nil tries both the register
-	// tile and the level-1 loops (layers with tiny register budgets are
-	// only feasible with the latter); problems without untiled kernel
-	// loops run once.
-	RSPlacements []dataflow.RSPlacement
-	// Solver tunes the interior-point method.
-	Solver solver.Options
-	// DisablePruning turns off hoist-prefix/symmetry class dedup and
-	// enumerates raw permutations (for the pruning ablation).
-	DisablePruning bool
-	// Cache, when non-nil, memoizes whole Optimize results by content
-	// signature (see SolveSignature): a repeated (problem shape ×
-	// architecture × options) request returns the cached design point
-	// without formulating or solving anything, and concurrent requests
-	// for the same signature collapse onto a single solve. A cache
-	// attached to the context via ContextWithCache is used when this
-	// field is nil.
-	Cache *SolveCache
-}
-
-func (o Options) withDefaults() Options {
-	if o.Arch == nil {
-		e := arch.Eyeriss()
-		o.Arch = &e
-	}
-	if o.AreaBudget == 0 {
-		o.AreaBudget = arch.EyerissAreaBudget()
-	}
-	if o.NDiv == 0 {
-		o.NDiv = 2
-		if o.Criterion != model.MinEnergy {
-			// Delay (and EDP) quality hinges on hitting the exact
-			// PE-maximizing divisor combinations, which a width-2 ladder
-			// around the relaxed solution can miss.
-			o.NDiv = 3
-		}
-	}
-	if o.NPow2 == 0 {
-		o.NPow2 = 2
-	}
-	if o.MaxCandidates == 0 {
-		// Evaluations are microseconds each; a generous cap lets the
-		// width-3 delay ladder cover its full cross product.
-		o.MaxCandidates = 1 << 20
-	}
-	if o.TopClasses == 0 {
-		o.TopClasses = 3
-	}
-	if o.Parallel == 0 {
-		o.Parallel = runtime.NumCPU()
-	}
-	if o.Solver.Tol == 0 {
-		// The integerization step only needs ~2 significant digits from
-		// the relaxation; a loose gap keeps thousands of solves fast.
-		o.Solver.Tol = 1e-6
-	}
-	return o
-}
+type Options = pipeline.Options
 
 // DesignPoint is one complete optimized design.
-type DesignPoint struct {
-	Arch    arch.Arch
-	Mapping *model.Mapping
-	Report  *model.Report
-	// PermL1 and PermSRAM are the copy-level loop orders (outer-to-inner).
-	PermL1, PermSRAM []int
-	// NestOptions records the tiling structure the mapping was built for
-	// (notably the kernel-loop placement); required to re-evaluate or
-	// export the mapping.
-	NestOptions dataflow.StandardOptions
-	// GPObjective is the relaxed optimum of the geometric program the
-	// point was integerized from.
-	GPObjective float64
-}
+type DesignPoint = pipeline.DesignPoint
 
-// Stats summarizes the search effort. PairsSolved, Candidates, and the
-// related counters always describe the search that produced the
-// returned design — even when that search happened in an earlier run
-// and the result was served from a SolveCache. FreshSolves and
-// FromCache describe what this invocation actually did, so cached runs
-// never report a misleading "0 GPs solved" (nor pretend to have solved
-// GPs they reused).
-type Stats struct {
-	ClassesL1, ClassesSRAM int
-	// PairsSolved is the total number of permutation-pair GPs behind
-	// the returned design (deduplicated search effort).
-	PairsSolved int
-	Infeasible  int
-	Suboptimal  int
-	Candidates  int
-	NewtonIters int
-	// FreshSolves is the number of GPs this invocation solved itself:
-	// equal to PairsSolved on a cache miss (or with caching off), 0
-	// when the result came from the solve cache.
-	FreshSolves int
-	// FromCache marks a result served from a SolveCache. The Best
-	// design point is shared with the cache — treat it as immutable.
-	FromCache bool
-}
+// Stats summarizes the search effort behind a Result.
+type Stats = pipeline.Stats
 
 // Result is the outcome of an Optimize run.
-type Result struct {
-	Best  *DesignPoint
-	Stats Stats
-}
-
-// solvedPair records one GP solution.
-type solvedPair struct {
-	permL1, permSRAM []int
-	x                []float64
-	objective        float64
-}
+type Result = pipeline.Result
 
 // Optimize runs the Thistle flow for one problem, trying each configured
 // placement of the untiled kernel loops and returning the best design.
@@ -183,8 +71,13 @@ func Optimize(p *loopnest.Problem, opts Options) (*Result, error) {
 // ContextWithCache), the run is memoized by content signature and a
 // repeated request short-circuits before class enumeration and GP
 // formulation; see SolveSignature for what the signature covers.
+//
+// The search itself is delegated to pipeline.Execute. A scheduler
+// attached to ctx (pipeline.ContextWithScheduler) bounds this call's
+// leaf compute jointly with every other optimization sharing it;
+// otherwise the run gets its own bound of Options.Parallel.
 func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, error) {
-	opts = opts.withDefaults()
+	opts = opts.WithDefaults()
 	o := obs.FromContext(ctx)
 	ctx, span := obs.StartSpan(ctx, "optimize",
 		obs.String("problem", p.Name), obs.String("mode", opts.Mode.String()))
@@ -242,11 +135,11 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 		return res, err
 	}
 	if sc == nil {
-		return finish(optimizePlacements(ctx, p, opts, o))
+		return finish(pipeline.Execute(ctx, p, opts))
 	}
 	span.Annotate(obs.String("cache_sig", sig.Short()))
 	res, hit, err := sc.Do(sig, func() (*Result, error) {
-		return optimizePlacements(ctx, p, opts, o)
+		return pipeline.Execute(ctx, p, opts)
 	})
 	if err != nil {
 		return finish(nil, err)
@@ -267,406 +160,6 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	out.Stats.FreshSolves = 0
 	out.Stats.FromCache = true
 	return finish(&out, nil)
-}
-
-// optimizePlacements runs the uncached flow: one optimizeOne pass per
-// configured RS placement, keeping the best design and accumulating
-// search-effort stats across placements.
-func optimizePlacements(ctx context.Context, p *loopnest.Problem, opts Options, o *obs.Obs) (*Result, error) {
-	placements := opts.RSPlacements
-	if placements == nil {
-		placements = []dataflow.RSPlacement{dataflow.RSAtRegister}
-		if hasUntiledKernelLoops(p) {
-			placements = append(placements, dataflow.RSAtLevel1)
-		}
-	}
-	if o.Enabled(obs.Info) {
-		o.Logf(obs.Info, "optimize %s: criterion=%v mode=%v placements=%d",
-			p.Name, opts.Criterion, opts.Mode, len(placements))
-	}
-	var best *Result
-	var combined Stats
-	var firstErr error
-	for _, rs := range placements {
-		po := opts
-		po.Nest.RS = rs
-		pctx, pspan := obs.StartSpan(ctx, "rs-placement", obs.String("rs", rs.String()))
-		res, err := optimizeOne(pctx, p, po)
-		if res != nil {
-			// Accumulate search effort across placements — including
-			// placements that found no design but still solved GPs —
-			// instead of overwriting with the best placement's counts.
-			combined.ClassesL1 += res.Stats.ClassesL1
-			combined.ClassesSRAM += res.Stats.ClassesSRAM
-			combined.PairsSolved += res.Stats.PairsSolved
-			combined.Candidates += res.Stats.Candidates
-			combined.NewtonIters += res.Stats.NewtonIters
-			combined.Infeasible += res.Stats.Infeasible
-			combined.Suboptimal += res.Stats.Suboptimal
-			pspan.Annotate(
-				obs.Int("classes_l1", res.Stats.ClassesL1),
-				obs.Int("classes_sram", res.Stats.ClassesSRAM),
-				obs.Int("pairs_solved", res.Stats.PairsSolved),
-			)
-		}
-		pspan.End()
-		if err != nil {
-			if o.Enabled(obs.Debug) {
-				o.Logf(obs.Debug, "optimize %s: placement %v failed: %v", p.Name, rs, err)
-			}
-			if firstErr == nil {
-				firstErr = err
-			}
-			continue
-		}
-		if best == nil || model.Score(po.Criterion, res.Best.Report) < model.Score(po.Criterion, best.Best.Report) {
-			best = res
-		}
-	}
-	if best == nil {
-		return nil, firstErr
-	}
-	combined.FreshSolves = combined.PairsSolved
-	best.Stats = combined
-	if o.Enabled(obs.Info) {
-		o.Logf(obs.Info, "optimize %s: done, %d GPs solved (%d newton iters), %d integer candidates",
-			p.Name, combined.PairsSolved, combined.NewtonIters, combined.Candidates)
-	}
-	return best, nil
-}
-
-// hasUntiledKernelLoops reports whether the problem has kernel iterators
-// (named r/s) with extent > 1, i.e. whether the two RS placements differ.
-func hasUntiledKernelLoops(p *loopnest.Problem) bool {
-	for _, name := range []string{"r", "s"} {
-		if i := p.IterIndex(name); i >= 0 && p.Iters[i].Extent > 1 {
-			return true
-		}
-	}
-	return false
-}
-
-// optimizeOne runs the flow for one fixed nest configuration.
-func optimizeOne(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, error) {
-	if err := opts.Arch.Validate(); err != nil {
-		return nil, err
-	}
-	o := obs.FromContext(ctx)
-	tracing := o.TracingEnabled()
-	parent := obs.SpanFromContext(ctx)
-	nest, err := dataflow.StandardNest(p, opts.Nest)
-	if err != nil {
-		return nil, err
-	}
-
-	// Architecture variables (registered on the shared VarSet so they can
-	// appear in the same GP as the trip counts), and the delay variable.
-	av := &archVars{mode: opts.Mode, tech: opts.Arch.Tech, fixed: *opts.Arch, budget: opts.AreaBudget}
-	if opts.Mode == CoDesign {
-		av.varR = nest.Vars.NewVar("arch_R")
-		av.varS = nest.Vars.NewVar("arch_S")
-		av.varP = nest.Vars.NewVar("arch_P")
-	}
-	varT := nest.Vars.NewVar("delay_T")
-
-	// Permutation classes at both copy levels.
-	enumSpan := o.StartSpan(parent, "enumerate-classes")
-	var syms []dataflow.Involution
-	if !opts.DisablePruning {
-		syms = dataflow.SymmetricInvolutions(p)
-	}
-	classesL1, err := enumerate(nest, dataflow.StandardLevelL1, syms, opts.DisablePruning)
-	if err != nil {
-		enumSpan.End()
-		return nil, err
-	}
-	classesSRAM, err := enumerate(nest, dataflow.StandardLevelSRAM, syms, opts.DisablePruning)
-	if err != nil {
-		enumSpan.End()
-		return nil, err
-	}
-	if enumSpan != nil {
-		enumSpan.Annotate(obs.Int("classes_l1", len(classesL1)), obs.Int("classes_sram", len(classesSRAM)))
-		enumSpan.End()
-	}
-	if o.MetricsEnabled() {
-		// Per-placement class counts, plus running totals across the run.
-		rs := opts.Nest.RS.String()
-		o.Gauge("core.classes_l1." + rs).Set(int64(len(classesL1)))
-		o.Gauge("core.classes_sram." + rs).Set(int64(len(classesSRAM)))
-		o.Counter("core.classes_l1").Add(int64(len(classesL1)))
-		o.Counter("core.classes_sram").Add(int64(len(classesSRAM)))
-	}
-	if o.Enabled(obs.Debug) {
-		o.Logf(obs.Debug, "optimize %s: placement %v: %d x %d permutation classes",
-			p.Name, opts.Nest.RS, len(classesL1), len(classesSRAM))
-	}
-
-	stats := Stats{ClassesL1: len(classesL1), ClassesSRAM: len(classesSRAM)}
-
-	// Solve one GP per class pair, in parallel. When every strict GP is
-	// infeasible (tiny capacities plus the posynomial overestimate), a
-	// second pass loosens the capacity bounds by the relaxation's
-	// worst-case slack (see buildGP).
-	type job struct{ l1, sram []int }
-	jobs := make([]job, 0, len(classesL1)*len(classesSRAM))
-	for _, c1 := range classesL1 {
-		for _, c3 := range classesSRAM {
-			jobs = append(jobs, job{c1.Perm, c3.Perm})
-		}
-	}
-	// Hoisted metric handles: nil no-ops when telemetry is off, so the
-	// worker loop pays only nil checks.
-	pairsC := o.Counter("core.pairs_solved")
-	infeasC := o.Counter("core.gp_infeasible")
-	subC := o.Counter("core.gp_suboptimal")
-	solvePass := func(capSlack bool) ([]solvedPair, error) {
-		passSpan := o.StartSpan(parent, "gp-solve-pass")
-		if passSpan != nil {
-			passSpan.Annotate(obs.Int("jobs", len(jobs)), obs.Attr{Key: "cap_slack", Value: capSlack})
-		}
-		defer passSpan.End()
-		var (
-			mu     sync.Mutex
-			solved []solvedPair
-			wg     sync.WaitGroup
-		)
-		next := make(chan job)
-		workers := opts.Parallel
-		if workers > len(jobs) {
-			workers = len(jobs)
-		}
-		var firstErr error
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for j := range next {
-					var pairSpan *obs.Span
-					if tracing {
-						pairSpan = o.StartSpan(passSpan, "gp-pair",
-							obs.Stringer("perm_l1", j.l1), obs.Stringer("perm_sram", j.sram))
-					}
-					perms := dataflow.StandardPerms(j.l1, j.sram)
-					fspan := o.StartSpan(pairSpan, "formulate")
-					f, err := buildGP(nest, perms, av, opts.Criterion, varT, capSlack)
-					fspan.End()
-					if err != nil {
-						pairSpan.End()
-						mu.Lock()
-						if firstErr == nil {
-							firstErr = err
-						}
-						mu.Unlock()
-						continue
-					}
-					sopts := opts.Solver
-					sopts.Obs = o
-					sopts.Span = pairSpan
-					res, err := f.solve(sopts)
-					pairsC.Inc()
-					mu.Lock()
-					stats.PairsSolved++
-					if err != nil {
-						if firstErr == nil {
-							firstErr = err
-						}
-					} else {
-						switch res.Status {
-						case solver.Infeasible:
-							stats.Infeasible++
-							infeasC.Inc()
-						case solver.Suboptimal:
-							stats.Suboptimal++
-							subC.Inc()
-							fallthrough
-						case solver.Optimal:
-							stats.NewtonIters += res.Newton
-							solved = append(solved, solvedPair{
-								permL1: j.l1, permSRAM: j.sram,
-								x: res.X, objective: res.Objective,
-							})
-						}
-					}
-					mu.Unlock()
-					if pairSpan != nil {
-						if err == nil {
-							pairSpan.Annotate(
-								obs.String("status", res.Status.String()),
-								obs.Int("newton", res.Newton),
-								obs.Float("objective", res.Objective),
-							)
-						}
-						pairSpan.End()
-					}
-				}
-			}()
-		}
-		for _, j := range jobs {
-			next <- j
-		}
-		close(next)
-		wg.Wait()
-		return solved, firstErr
-	}
-	solved, firstErr := solvePass(false)
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if len(solved) == 0 {
-		solved, firstErr = solvePass(true)
-		if firstErr != nil {
-			return nil, firstErr
-		}
-	}
-	if len(solved) == 0 {
-		return &Result{Stats: stats}, fmt.Errorf("%w: all %d permutation classes infeasible", ErrNoDesign, len(jobs))
-	}
-
-	// Integerize the best few class pairs and evaluate with the model.
-	// Ties on the objective are broken by permutation order so the
-	// selected top set — and therefore the final design — is identical
-	// across runs regardless of worker completion order (cached and
-	// uncached runs must produce byte-identical results).
-	sort.Slice(solved, func(i, j int) bool {
-		//tlvet:ignore floateq -- sort comparator: tolerance-based equality breaks strict weak ordering
-		if solved[i].objective != solved[j].objective {
-			return solved[i].objective < solved[j].objective
-		}
-		if c := slices.Compare(solved[i].permL1, solved[j].permL1); c != 0 {
-			return c < 0
-		}
-		return slices.Compare(solved[i].permSRAM, solved[j].permSRAM) < 0
-	})
-	top := opts.TopClasses
-	if top > len(solved) {
-		top = len(solved)
-	}
-	ev := model.NewEvaluator(nest)
-	iopt := intOptions{
-		nDiv:    opts.NDiv,
-		nPow2:   opts.NPow2,
-		minUtil: opts.MinUtilization,
-		maxCand: opts.MaxCandidates,
-	}
-	candC := o.Counter("core.int_candidates")
-	// integerizeOne converts one relaxed solution to the best integer
-	// design, recording an integerize span whose model-eval child covers
-	// the streamed candidate evaluation.
-	integerizeOne := func(x []float64, sp solvedPair) (*candidate, *model.Report, int) {
-		var ispan *obs.Span
-		if tracing {
-			ispan = o.StartSpan(parent, "integerize", obs.Float("gp_objective", sp.objective))
-		}
-		evalSpan := o.StartSpan(ispan, "model-eval")
-		perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
-		c, rep, visited := searchIntegerCandidates(ev, nest, perms, x, av, iopt, opts.Criterion)
-		candC.Add(int64(visited))
-		if evalSpan != nil {
-			evalSpan.SetAttr("candidates", int64(visited))
-			evalSpan.End()
-			ispan.SetAttr("found", c != nil)
-			ispan.End()
-		}
-		return c, rep, visited
-	}
-	var best *DesignPoint
-	for _, sp := range solved[:top] {
-		c, rep, visited := integerizeOne(sp.x, sp)
-		stats.Candidates += visited
-		if c == nil {
-			continue
-		}
-		if best == nil || model.Score(opts.Criterion, rep) < model.Score(opts.Criterion, best.Report) {
-			best = &DesignPoint{
-				Arch:        c.archCfg,
-				Mapping:     c.mapping,
-				Report:      rep,
-				PermL1:      sp.permL1,
-				PermSRAM:    sp.permSRAM,
-				NestOptions: opts.Nest,
-				GPObjective: sp.objective,
-			}
-		}
-	}
-	if best == nil {
-		// Fallback ladder: on tight architectures the divisor ladder
-		// around the relaxed solution can miss every exactly-feasible
-		// integer point. Shrink the solution geometrically toward the
-		// minimal (all-ones) tiling — x^λ stays ≥ 1 — and retry.
-		for _, lambda := range []float64{0.5, 0.25, 0} {
-			for _, sp := range solved[:top] {
-				shrunk := append([]float64(nil), sp.x...)
-				for i := range shrunk {
-					if shrunk[i] > 1 {
-						shrunk[i] = math.Pow(shrunk[i], lambda)
-					}
-				}
-				c, rep, visited := integerizeOne(shrunk, sp)
-				stats.Candidates += visited
-				if c == nil {
-					continue
-				}
-				if best == nil || model.Score(opts.Criterion, rep) < model.Score(opts.Criterion, best.Report) {
-					best = &DesignPoint{
-						Arch:        c.archCfg,
-						Mapping:     c.mapping,
-						Report:      rep,
-						PermL1:      sp.permL1,
-						PermSRAM:    sp.permSRAM,
-						NestOptions: opts.Nest,
-						GPObjective: sp.objective,
-					}
-				}
-			}
-			if best != nil {
-				break
-			}
-		}
-	}
-	if best == nil {
-		return &Result{Stats: stats}, fmt.Errorf("%w: no integer candidate satisfied the constraints", ErrNoDesign)
-	}
-	return &Result{Best: best, Stats: stats}, nil
-}
-
-// enumerate returns permutation classes, or every raw permutation when
-// pruning is disabled (ablation mode).
-func enumerate(nest *dataflow.Nest, level int, syms []dataflow.Involution, raw bool) ([]dataflow.PermClass, error) {
-	if !raw {
-		return nest.EnumerateClasses(level, syms)
-	}
-	// Raw mode: every permutation of the active set becomes its own
-	// "class".
-	lvl := nest.Levels[level]
-	var out []dataflow.PermClass
-	permuteAll(append([]int(nil), lvl.Active...), func(p []int) {
-		out = append(out, dataflow.PermClass{Perm: append([]int(nil), p...), Size: 1})
-	})
-	return out, nil
-}
-
-func permuteAll(s []int, fn func([]int)) {
-	var rec func(k int)
-	rec = func(k int) {
-		if k == 1 {
-			fn(s)
-			return
-		}
-		for i := 0; i < k; i++ {
-			rec(k - 1)
-			if k%2 == 0 {
-				s[i], s[k-1] = s[k-1], s[i]
-			} else {
-				s[0], s[k-1] = s[k-1], s[0]
-			}
-		}
-	}
-	if len(s) == 0 {
-		fn(s)
-		return
-	}
-	rec(len(s))
 }
 
 // EvaluateOn re-evaluates a design point's mapping on a different
@@ -733,7 +226,7 @@ func CacheFromContext(ctx context.Context) *SolveCache {
 // first, so an explicit default and a zero value hash equal. Callers
 // use it to group problems that a shared cache would deduplicate.
 func SolveSignature(p *loopnest.Problem, opts Options) cache.Signature {
-	return solveKey(p, opts.withDefaults()).Signature()
+	return solveKey(p, opts.WithDefaults()).Signature()
 }
 
 // solveKey flattens resolved options into a cache key. opts must

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// eventLog is a concurrency-safe obs.EventSink recording emitted events
+// in order.
+type eventLog struct {
+	mu     sync.Mutex
+	types  []string
+	fields []map[string]any
+}
+
+func (s *eventLog) Emit(typ string, fields map[string]any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.types = append(s.types, typ)
+	s.fields = append(s.fields, fields)
+}
+
+func (s *eventLog) byType(typ string) []map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []map[string]any
+	for i, t := range s.types {
+		if t == typ {
+			out = append(out, s.fields[i])
+		}
+	}
+	return out
+}
+
+// rename returns a copy of l under a different pipeline name: same
+// shape, same solve signature (names are excluded from the canonical
+// problem hash), different Name().
+func rename(l workloads.Layer, pipeline string) workloads.Layer {
+	l.Pipeline = pipeline
+	return l
+}
+
+// TestOptimizeLayersDedupProvenance pins the deterministic-provenance
+// contract: with groups solved concurrently and in whatever order they
+// finish, every layer_reused event must still name the FIRST layer in
+// input order that carries the signature as its "from", and the events
+// themselves appear in input order. The layer list interleaves two
+// distinct shapes, each with renamed aliases, so getting provenance
+// from completion order (or from the map iteration over groups) would
+// be caught.
+func TestOptimizeLayersDedupProvenance(t *testing.T) {
+	all := workloads.All()
+	a, b := all[5], all[14]
+	layers := []workloads.Layer{
+		a,                  // 0: owner of shape A
+		b,                  // 1: owner of shape B
+		rename(a, "alias"), // 2: reused from 0
+		rename(b, "alias"), // 3: reused from 1
+		rename(a, "again"), // 4: reused from 0 (not from 2)
+	}
+	log := &eventLog{}
+	ctx := obs.NewContext(context.Background(), &obs.Obs{Events: log})
+	eyeriss := arch.Eyeriss()
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &eyeriss, Parallel: 4}
+	results, err := OptimizeLayers(ctx, layers, opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(layers) {
+		t.Fatalf("got %d results for %d layers", len(results), len(layers))
+	}
+	// Deduplicated entries share the owner's result pointer.
+	if results[2] != results[0] || results[4] != results[0] || results[3] != results[1] {
+		t.Fatal("deduplicated layers do not share the owner's result")
+	}
+	if results[0] == results[1] {
+		t.Fatal("distinct shapes collapsed onto one result")
+	}
+	reused := log.byType(obs.EvLayerReused)
+	want := []struct{ problem, from string }{
+		{layers[2].Name(), a.Name()},
+		{layers[3].Name(), b.Name()},
+		{layers[4].Name(), a.Name()},
+	}
+	if len(reused) != len(want) {
+		t.Fatalf("got %d layer_reused events, want %d", len(reused), len(want))
+	}
+	for i, w := range want {
+		if got := reused[i]["problem"]; got != w.problem {
+			t.Errorf("event %d: problem = %v, want %s", i, got, w.problem)
+		}
+		if got := reused[i]["from"]; got != w.from {
+			t.Errorf("event %d: from = %v, want %s", i, got, w.from)
+		}
+		if reused[i]["energy_pj"] == nil || reused[i]["sig"] == nil {
+			t.Errorf("event %d: missing report fields: %v", i, reused[i])
+		}
+	}
+	// The total event arrives before any reuse report.
+	totals := log.byType(obs.EvLayersTotal)
+	if len(totals) != 1 || totals[0]["total"] != len(layers) {
+		t.Fatalf("layers_total events = %v", totals)
+	}
+}
+
+// TestOptimizeLayersError: a failing solve surfaces as an error
+// attributed to the owning layer, never as a bare cancellation. A
+// single signature group (layer plus alias) keeps the attribution
+// deterministic: the group owner is the first layer in input order.
+func TestOptimizeLayersError(t *testing.T) {
+	all := workloads.All()
+	bad := arch.Arch{Name: "toosmall", PEs: 4, Regs: 2, SRAM: 2048, Tech: arch.Tech45nm()}
+	layers := []workloads.Layer{all[5], rename(all[5], "alias")}
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &bad, Parallel: 2}
+	_, err := OptimizeLayers(context.Background(), layers, opts, nil)
+	if err == nil {
+		t.Fatal("expected error from infeasible architecture")
+	}
+	if errors.Is(err, context.Canceled) {
+		t.Fatalf("real failure reported as cancellation: %v", err)
+	}
+	if got, want := err.Error(), layers[0].Name()+": "; !strings.HasPrefix(got, want) {
+		t.Fatalf("error %q not attributed to owning layer %s", got, layers[0].Name())
+	}
+}

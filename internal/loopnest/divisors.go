@@ -1,0 +1,24 @@
+package loopnest
+
+// Divisors returns the sorted divisors of n (n ≥ 1). Loop extents are the
+// quantities being factored throughout the project — tile sizes divide
+// extents — so the helper lives here, below both the mapper and the
+// optimization pipeline.
+func Divisors(n int64) []int64 {
+	var out []int64
+	for d := int64(1); d*d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+			if d != n/d {
+				out = append(out, n/d)
+			}
+		}
+	}
+	// Insertion sort: divisor lists are short and nearly sorted.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

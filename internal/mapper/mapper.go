@@ -349,27 +349,11 @@ func (g *generator) random(rng *rand.Rand) *model.Mapping {
 	return m
 }
 
-// Divisors returns the sorted divisors of n (n ≥ 1).
+// Divisors returns the sorted divisors of n (n ≥ 1). It forwards to
+// loopnest.Divisors, the canonical home shared with the optimization
+// pipeline.
 func Divisors(n int64) []int64 {
-	var out []int64
-	for d := int64(1); d*d <= n; d++ {
-		if n%d == 0 {
-			out = append(out, d)
-			if d != n/d {
-				out = append(out, n/d)
-			}
-		}
-	}
-	sortInt64(out)
-	return out
-}
-
-func sortInt64(s []int64) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+	return loopnest.Divisors(n)
 }
 
 func randomDivisor(rng *rand.Rand, n int64) int64 {

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/loopnest"
+	"repro/internal/model"
+	"repro/internal/workloads"
+)
+
+// TestExecuteSchedulingIndependent is the refactor's core promise: the
+// selected design point is a pure function of (problem, options), not
+// of how wide the scheduler happens to be or how its goroutines
+// interleave. A single-token scheduler (strictly sequential leaf work),
+// a wide one, and a repeated wide run must all select byte-identical
+// results — including the search statistics, which count work, not
+// threads.
+func TestExecuteSchedulingIndependent(t *testing.T) {
+	l, ok := workloads.ByName("resnet18_L9")
+	if !ok {
+		t.Fatal("unknown layer resnet18_L9")
+	}
+	p, err := l.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	run := func(parallel int) *Result {
+		t.Helper()
+		res, err := Execute(context.Background(),
+			p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	seq := run(1)
+	for name, res := range map[string]*Result{
+		"parallel=8":        run(8),
+		"parallel=8 repeat": run(8),
+		"parallel=3":        run(3),
+	} {
+		if !reflect.DeepEqual(seq.Best, res.Best) {
+			t.Errorf("%s: design point differs from sequential run\nseq:  %+v\ngot:  %+v",
+				name, seq.Best, res.Best)
+		}
+		if seq.Stats != res.Stats {
+			t.Errorf("%s: stats differ from sequential run\nseq: %+v\ngot: %+v",
+				name, seq.Stats, res.Stats)
+		}
+	}
+}
+
+// TestExecuteSharedSchedulerMatchesOwn: attaching a shared scheduler to
+// the context (the OptimizeLayers batch path) must not change the
+// result either.
+func TestExecuteSharedSchedulerMatchesOwn(t *testing.T) {
+	p := loopnest.MatMul(128, 128, 128)
+	a := arch.Eyeriss()
+	opts := Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a, Parallel: 4}
+	own, err := Execute(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ContextWithScheduler(context.Background(), NewScheduler(2))
+	shared, err := Execute(ctx, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(own.Best, shared.Best) || own.Stats != shared.Stats {
+		t.Fatalf("shared-scheduler run differs:\nown:    %+v / %+v\nshared: %+v / %+v",
+			own.Best, own.Stats, shared.Best, shared.Stats)
+	}
+}
+
+// TestExecuteCancelled: a cancelled context must surface promptly as a
+// context error, not as a spurious "all classes infeasible".
+func TestExecuteCancelled(t *testing.T) {
+	p := loopnest.MatMul(256, 256, 256)
+	a := arch.Eyeriss()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Execute(ctx, p, Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a})
+	if err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled chain", err)
+	}
+}

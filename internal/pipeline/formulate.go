@@ -1,12 +1,4 @@
-// Package core implements the Thistle optimizer of the paper: for a
-// loop-nest problem it enumerates pruned tile-loop permutation classes,
-// generates one constrained geometric program per class combination
-// (dataflow-only for a fixed architecture, or architecture-dataflow
-// co-design under an area budget), solves them with the interior-point
-// backend, converts the real solutions to integer mappings via
-// divisor-ladder candidate generation, evaluates the candidates with the
-// Timeloop-substitute model, and returns the best design point.
-package core
+package pipeline
 
 import (
 	"fmt"
@@ -19,27 +11,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/solver"
 )
-
-// Mode selects between dataflow-only optimization on a fixed architecture
-// and full architecture-dataflow co-design.
-type Mode int
-
-const (
-	// FixedArch optimizes the dataflow for a given architecture (the
-	// paper's Figs. 4 and 7 setting).
-	FixedArch Mode = iota
-	// CoDesign additionally optimizes P, R, and S under an area budget
-	// (Figs. 5, 6, and 8).
-	CoDesign
-)
-
-// String returns the CLI spelling of the mode ("fixed" or "codesign").
-func (m Mode) String() string {
-	if m == CoDesign {
-		return "codesign"
-	}
-	return "fixedarch"
-}
 
 // archVars holds the symbolic or constant architecture parameters of one
 // formulation.

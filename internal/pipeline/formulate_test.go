@@ -1,6 +1,7 @@
-package core
+package pipeline
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -98,13 +99,13 @@ func TestGPSolutionFeasibleExactly(t *testing.T) {
 // improve the co-design optimum.
 func TestGPEnergyDecreasesWithLooserArea(t *testing.T) {
 	p := loopnest.MatMul(256, 256, 256)
-	small, err := Optimize(p, Options{
+	small, err := Execute(context.Background(), p, Options{
 		Criterion: model.MinEnergy, Mode: CoDesign, AreaBudget: arch.EyerissAreaBudget() / 8,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := Optimize(p, Options{
+	big, err := Execute(context.Background(), p, Options{
 		Criterion: model.MinEnergy, Mode: CoDesign, AreaBudget: arch.EyerissAreaBudget(),
 	})
 	if err != nil {

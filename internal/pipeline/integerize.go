@@ -1,13 +1,15 @@
-package core
+package pipeline
 
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/dataflow"
-	"repro/internal/mapper"
+	"repro/internal/loopnest"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 // intOptions tunes the real-to-integer conversion (Section IV of the
@@ -19,6 +21,115 @@ type intOptions struct {
 	nPow2   int     // power-of-two candidates per capacity
 	minUtil float64 // minimum PE utilization for fixed-arch candidates
 	maxCand int     // cap on the candidate cross product
+}
+
+// integerizeStage converts the best TopClasses relaxed solutions to
+// integer designs. Each pair's divisor-ladder search is a leaf compute
+// job admitted through the shared scheduler; results land in per-pair
+// slots and are compacted in solved-pair order, so parallelism cannot
+// change which candidates survive. When no pair yields an integer point,
+// a fallback ladder shrinks the relaxed solutions geometrically toward
+// the all-ones tiling (x^λ stays ≥ 1) and retries.
+type integerizeStage struct{}
+
+func (integerizeStage) Name() string { return "integerize" }
+
+func (integerizeStage) Run(r *Run) error {
+	top := r.opts.TopClasses
+	if top > len(r.solved) {
+		top = len(r.solved)
+	}
+	// One evaluator shared by every job: model.Evaluator is documented
+	// safe for concurrent use (its volume cache is internally locked).
+	ev := model.NewEvaluator(r.nest)
+	iopt := intOptions{
+		nDiv:    r.opts.NDiv,
+		nPow2:   r.opts.NPow2,
+		minUtil: r.opts.MinUtilization,
+		maxCand: r.opts.MaxCandidates,
+	}
+	candC := r.obs.Counter("core.int_candidates")
+
+	// integerizePass converts each of the top pairs under shrink(x) and
+	// returns the surviving candidates in pair order.
+	integerizePass := func(shrink func([]float64) []float64) ([]*integerized, error) {
+		out := make([]*integerized, top)
+		var mu sync.Mutex
+		err := r.sched.ForEach(r.ctx, top, func(i int) error {
+			sp := r.solved[i]
+			c, rep, visited := r.integerizeOne(ev, iopt, candC, shrink(sp.x), sp)
+			mu.Lock()
+			r.stats.Candidates += visited
+			mu.Unlock()
+			if c != nil {
+				out[i] = &integerized{pair: sp, cand: c, rep: rep}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cands := out[:0]
+		for _, c := range out {
+			if c != nil {
+				cands = append(cands, c)
+			}
+		}
+		return cands, nil
+	}
+
+	identity := func(x []float64) []float64 { return x }
+	cands, err := integerizePass(identity)
+	if err != nil {
+		return err
+	}
+	if len(cands) == 0 {
+		// Fallback ladder: on tight architectures the divisor ladder
+		// around the relaxed solution can miss every exactly-feasible
+		// integer point. Shrink the solution geometrically toward the
+		// minimal (all-ones) tiling and retry.
+		for _, lambda := range []float64{0.5, 0.25, 0} {
+			cands, err = integerizePass(func(x []float64) []float64 {
+				shrunk := append([]float64(nil), x...)
+				for i := range shrunk {
+					if shrunk[i] > 1 {
+						shrunk[i] = math.Pow(shrunk[i], lambda)
+					}
+				}
+				return shrunk
+			})
+			if err != nil {
+				return err
+			}
+			if len(cands) > 0 {
+				break
+			}
+		}
+	}
+	r.cands = cands
+	return nil
+}
+
+// integerizeOne converts one relaxed solution to the best integer
+// design, recording an integerize span whose model-eval child covers
+// the streamed candidate evaluation.
+func (r *Run) integerizeOne(ev *model.Evaluator, iopt intOptions, candC *obs.Counter, x []float64, sp solvedPair) (*candidate, *model.Report, int) {
+	o := r.obs
+	var ispan *obs.Span
+	if o.TracingEnabled() {
+		ispan = o.StartSpan(r.parent, "integerize", obs.Float("gp_objective", sp.objective))
+	}
+	evalSpan := o.StartSpan(ispan, "model-eval")
+	perms := dataflow.StandardPerms(sp.permL1, sp.permSRAM)
+	c, rep, visited := searchIntegerCandidates(ev, r.nest, perms, x, r.av, iopt, r.opts.Criterion)
+	candC.Add(int64(visited))
+	if evalSpan != nil {
+		evalSpan.SetAttr("candidates", int64(visited))
+		evalSpan.End()
+		ispan.SetAttr("found", c != nil)
+		ispan.End()
+	}
+	return c, rep, visited
 }
 
 // dimCandidate is one integer tiling of a single iterator: SRAM tile S,
@@ -111,9 +222,9 @@ func dimCandidates(n *dataflow.Nest, it int, x []float64, opt intOptions) []dimC
 	realPE := lv[0] * lv[1]
 	realSRAM := lv[0] * lv[1] * lv[2]
 	var out []dimCandidate
-	for _, s := range nClosest(mapper.Divisors(extent), realSRAM, opt.nDiv) {
-		for _, q := range nClosest(mapper.Divisors(s), realPE, opt.nDiv) {
-			for _, r := range nClosest(mapper.Divisors(q), realReg, opt.nDiv) {
+	for _, s := range nClosest(loopnest.Divisors(extent), realSRAM, opt.nDiv) {
+		for _, q := range nClosest(loopnest.Divisors(s), realPE, opt.nDiv) {
+			for _, r := range nClosest(loopnest.Divisors(q), realReg, opt.nDiv) {
 				out = append(out, dimCandidate{iter: it, regTile: r, peTile: q, sramT: s})
 			}
 		}

@@ -1,0 +1,37 @@
+package pipeline
+
+import "testing"
+
+func TestNClosest(t *testing.T) {
+	cands := []int64{1, 2, 4, 8, 16, 32}
+	got := nClosest(cands, 7, 2)
+	if len(got) != 2 || got[0] != 8 || got[1] != 4 {
+		t.Fatalf("nClosest = %v", got)
+	}
+	if got := nClosest(cands, 0.5, 1); got[0] != 1 {
+		t.Fatalf("nClosest low = %v", got)
+	}
+	if got := nClosest(nil, 5, 2); got != nil {
+		t.Fatalf("nClosest nil = %v", got)
+	}
+	if got := nClosest(cands, 100, 99); len(got) != len(cands) {
+		t.Fatalf("nClosest clamp = %v", got)
+	}
+}
+
+func TestPow2Candidates(t *testing.T) {
+	got := pow2Candidates(12, 2)
+	if len(got) != 2 || got[0] != 8 || got[1] != 16 {
+		t.Fatalf("pow2Candidates(12, 2) = %v", got)
+	}
+	got = pow2Candidates(12, 3)
+	if len(got) != 3 || got[0] != 4 || got[2] != 16 {
+		t.Fatalf("pow2Candidates(12, 3) = %v", got)
+	}
+	got = pow2Candidates(0.3, 2)
+	for _, v := range got {
+		if v < 1 {
+			t.Fatalf("pow2Candidates below 1: %v", got)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Scheduler is the run-wide admission bound for leaf compute jobs: GP
+// solves and integerization searches acquire a token before running, so
+// total CPU-bound concurrency stays at the configured width no matter
+// how many layers, RS placements, and permutation pairs are in flight.
+// Orchestration goroutines (per-layer, per-placement fan-out) never
+// hold tokens — only leaf work does — so nesting cannot deadlock the
+// semaphore.
+//
+// One scheduler is created per Optimize call (sized by
+// Options.Parallel) unless the caller attached a shared one to the
+// context with ContextWithScheduler; batch drivers like
+// experiments.OptimizeLayers do exactly that, which is what lets them
+// submit every layer concurrently without oversubscribing CPUs.
+type Scheduler struct {
+	sem chan struct{}
+}
+
+// NewScheduler builds a scheduler admitting at most n concurrent jobs.
+// n < 1 defaults to NumCPU.
+func NewScheduler(n int) *Scheduler {
+	if n < 1 {
+		n = runtime.NumCPU()
+	}
+	return &Scheduler{sem: make(chan struct{}, n)}
+}
+
+// Size returns the admission bound.
+func (s *Scheduler) Size() int {
+	if s == nil {
+		return 1
+	}
+	return cap(s.sem)
+}
+
+// acquire blocks until a token is free or ctx is cancelled.
+func (s *Scheduler) acquire(ctx context.Context) error {
+	// Prefer reporting cancellation even when a token is also free.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *Scheduler) release() { <-s.sem }
+
+// ForEach runs fn(0..n-1), each call holding one scheduler token, and
+// waits for every started call to finish. Admission honors context
+// cancellation: no new job starts after ctx is cancelled or after any
+// job returns an error (in-flight jobs run to completion). The returned
+// error is deterministic regardless of completion order — the error of
+// the lowest index that failed — except that a context cancellation
+// observed at admission time is reported as ctx.Err() when no job
+// failed first.
+//
+// A nil Scheduler runs the jobs sequentially on the calling goroutine,
+// still honoring cancellation between jobs.
+func (s *Scheduler) ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if s == nil {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		errIdx   = -1
+		firstErr error
+		stop     bool
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if err != nil {
+			stop = true
+			if errIdx < 0 || i < errIdx {
+				errIdx, firstErr = i, err
+			}
+		}
+		mu.Unlock()
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return stop
+	}
+	var admitErr error
+	for i := 0; i < n; i++ {
+		if stopped() {
+			break
+		}
+		if err := s.acquire(ctx); err != nil {
+			admitErr = err
+			break
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer s.release()
+			record(i, fn(i))
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return admitErr
+}
+
+type schedCtxKey struct{}
+
+// ContextWithScheduler attaches a shared scheduler to the context,
+// where the pipeline (and the core facade) find it; per-call schedulers
+// are then skipped, so every optimization submitted under the context
+// draws from one admission bound. A nil scheduler returns the context
+// unchanged.
+func ContextWithScheduler(ctx context.Context, s *Scheduler) context.Context {
+	if s == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, schedCtxKey{}, s)
+}
+
+// SchedulerFromContext returns the attached scheduler, or nil.
+func SchedulerFromContext(ctx context.Context) *Scheduler {
+	s, _ := ctx.Value(schedCtxKey{}).(*Scheduler)
+	return s
+}

@@ -1,0 +1,146 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestForEachBoundedConcurrency checks the admission invariant: no more
+// than Size() jobs run at once, no matter how many are submitted.
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const width, jobs = 3, 20
+	s := NewScheduler(width)
+	if s.Size() != width {
+		t.Fatalf("Size() = %d, want %d", s.Size(), width)
+	}
+	var inFlight, peak, total atomic.Int64
+	err := s.ForEach(context.Background(), jobs, func(i int) error {
+		n := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		total.Add(1)
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != jobs {
+		t.Fatalf("ran %d jobs, want %d", total.Load(), jobs)
+	}
+	if p := peak.Load(); p > width {
+		t.Fatalf("peak concurrency %d exceeds scheduler width %d", p, width)
+	}
+}
+
+// TestForEachCancellation cancels the context while a job is in flight
+// and later indices are still waiting for admission: ForEach must stop
+// admitting, return ctx.Err(), and not run the remaining jobs.
+func TestForEachCancellation(t *testing.T) {
+	s := NewScheduler(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := s.ForEach(ctx, 10, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			cancel() // cancel while holding the only token
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEach after cancel = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d jobs started after cancellation, want 1", n)
+	}
+	// A pre-cancelled context admits nothing at all, with or without a
+	// scheduler.
+	for _, sched := range []*Scheduler{s, nil} {
+		var ran atomic.Int64
+		err := sched.ForEach(ctx, 5, func(i int) error { ran.Add(1); return nil })
+		if !errors.Is(err, context.Canceled) || ran.Load() != 0 {
+			t.Fatalf("pre-cancelled ForEach (sched=%v): err=%v ran=%d", sched != nil, err, ran.Load())
+		}
+	}
+}
+
+// TestForEachLowestIndexError: whichever job finishes first, the
+// returned error belongs to the lowest failing index, so callers see a
+// deterministic error regardless of goroutine interleaving.
+func TestForEachLowestIndexError(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	s := NewScheduler(4)
+	for trial := 0; trial < 20; trial++ {
+		var gate sync.WaitGroup
+		gate.Add(2)
+		err := s.ForEach(context.Background(), 4, func(i int) error {
+			switch i {
+			case 1:
+				gate.Done()
+				gate.Wait() // fail together with index 3
+				time.Sleep(time.Millisecond)
+				return errLow
+			case 3:
+				gate.Done()
+				gate.Wait()
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Fatalf("trial %d: err = %v, want %v", trial, err, errLow)
+		}
+	}
+}
+
+// TestForEachNilScheduler: a nil scheduler degrades to a sequential
+// loop that still stops at the first error.
+func TestForEachNilScheduler(t *testing.T) {
+	var s *Scheduler
+	if s.Size() != 1 {
+		t.Fatalf("nil Size() = %d, want 1", s.Size())
+	}
+	boom := errors.New("boom")
+	var order []int
+	err := s.ForEach(context.Background(), 5, func(i int) error {
+		order = append(order, i)
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("sequential order = %v, want [0 1 2]", order)
+	}
+}
+
+// TestSchedulerContext round-trips a scheduler through a context and
+// checks the nil conventions on both ends.
+func TestSchedulerContext(t *testing.T) {
+	ctx := context.Background()
+	if got := SchedulerFromContext(ctx); got != nil {
+		t.Fatalf("empty context carries scheduler %v", got)
+	}
+	if got := ContextWithScheduler(ctx, nil); got != ctx {
+		t.Fatal("attaching a nil scheduler should return the context unchanged")
+	}
+	s := NewScheduler(2)
+	ctx2 := ContextWithScheduler(ctx, s)
+	if got := SchedulerFromContext(ctx2); got != s {
+		t.Fatalf("round-trip = %v, want %v", got, s)
+	}
+}

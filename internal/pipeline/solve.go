@@ -1,0 +1,135 @@
+package pipeline
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"repro/internal/dataflow"
+	"repro/internal/obs"
+	"repro/internal/solver"
+)
+
+// solveStage runs one GP per class pair through the shared scheduler.
+// When every strict GP is infeasible (tiny capacities plus the
+// posynomial overestimate), a second pass loosens the capacity bounds
+// by the relaxation's worst-case slack (see buildGP). The surviving
+// solutions are sorted by objective with a permutation-order tie-break,
+// so the top set — and therefore the final design — is identical across
+// runs regardless of scheduler width or completion order (cached and
+// uncached runs must produce byte-identical results).
+type solveStage struct{}
+
+func (solveStage) Name() string { return "solve" }
+
+func (solveStage) Run(r *Run) error {
+	solved, err := r.solvePass(false)
+	if err != nil {
+		return err
+	}
+	if len(solved) == 0 {
+		solved, err = r.solvePass(true)
+		if err != nil {
+			return err
+		}
+	}
+	if len(solved) == 0 {
+		return fmt.Errorf("%w: all %d permutation classes infeasible", ErrNoDesign, len(r.jobs))
+	}
+	sort.Slice(solved, func(i, j int) bool {
+		//tlvet:ignore floateq -- sort comparator: tolerance-based equality breaks strict weak ordering
+		if solved[i].objective != solved[j].objective {
+			return solved[i].objective < solved[j].objective
+		}
+		if c := slices.Compare(solved[i].permL1, solved[j].permL1); c != 0 {
+			return c < 0
+		}
+		return slices.Compare(solved[i].permSRAM, solved[j].permSRAM) < 0
+	})
+	r.solved = solved
+	return nil
+}
+
+// solvePass submits every pair job to the scheduler and collects the
+// feasible solutions in job order. Per-job results land in distinct
+// slots, so only the shared stats need a lock; admission stops at the
+// first error or context cancellation.
+func (r *Run) solvePass(capSlack bool) ([]solvedPair, error) {
+	o := r.obs
+	tracing := o.TracingEnabled()
+	passSpan := o.StartSpan(r.parent, "gp-solve-pass")
+	if passSpan != nil {
+		passSpan.Annotate(obs.Int("jobs", len(r.jobs)), obs.Attr{Key: "cap_slack", Value: capSlack})
+	}
+	defer passSpan.End()
+	// Hoisted metric handles: nil no-ops when telemetry is off, so the
+	// job body pays only nil checks.
+	pairsC := o.Counter("core.pairs_solved")
+	infeasC := o.Counter("core.gp_infeasible")
+	subC := o.Counter("core.gp_suboptimal")
+	results := make([]*solvedPair, len(r.jobs))
+	var mu sync.Mutex
+	err := r.sched.ForEach(r.ctx, len(r.jobs), func(i int) error {
+		j := r.jobs[i]
+		var pairSpan *obs.Span
+		if tracing {
+			pairSpan = o.StartSpan(passSpan, "gp-pair",
+				obs.Stringer("perm_l1", j.l1), obs.Stringer("perm_sram", j.sram))
+		}
+		perms := dataflow.StandardPerms(j.l1, j.sram)
+		fspan := o.StartSpan(pairSpan, "formulate")
+		f, err := buildGP(r.nest, perms, r.av, r.opts.Criterion, r.varT, capSlack)
+		fspan.End()
+		if err != nil {
+			pairSpan.End()
+			return err
+		}
+		sopts := r.opts.Solver
+		sopts.Obs = o
+		sopts.Span = pairSpan
+		res, err := f.solve(sopts)
+		pairsC.Inc()
+		mu.Lock()
+		r.stats.PairsSolved++
+		if err == nil {
+			switch res.Status {
+			case solver.Infeasible:
+				r.stats.Infeasible++
+				infeasC.Inc()
+			case solver.Suboptimal:
+				r.stats.Suboptimal++
+				subC.Inc()
+				fallthrough
+			case solver.Optimal:
+				r.stats.NewtonIters += res.Newton
+				results[i] = &solvedPair{
+					permL1: j.l1, permSRAM: j.sram,
+					x: res.X, objective: res.Objective,
+				}
+			}
+		}
+		mu.Unlock()
+		if pairSpan != nil {
+			if err == nil {
+				pairSpan.Annotate(
+					obs.String("status", res.Status.String()),
+					obs.Int("newton", res.Newton),
+					obs.Float("objective", res.Objective),
+				)
+			}
+			pairSpan.End()
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	solved := make([]solvedPair, 0, len(results))
+	for _, sp := range results {
+		if sp != nil {
+			solved = append(solved, *sp)
+		}
+	}
+	return solved, nil
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # bench.sh runs the tier-1 performance benchmarks (cold/warm single-layer
-# optimize and the whole-network warm-cache sweep) with -benchmem and
+# optimize, the whole-network warm-cache sweep, and the sequential vs
+# scheduled whole-network comparison) with -benchmem and
 # records the result as a JSON trajectory point BENCH_<date>.json at the
 # repo root, via scripts/benchjson. Successive points form the repo's
 # performance history; diff them the same way tlreport diffs manifests.
@@ -13,7 +14,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="BENCH_$(date -u +%Y%m%d).json"
-pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache'
+pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache|BenchmarkNetworkScheduler'
 
 echo "== go test -bench ($pattern)"
 go test -run '^$' -bench "$pattern" -benchmem "$@" . \

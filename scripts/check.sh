@@ -4,7 +4,8 @@
 # schema conformance, posynomial coefficient positivity, float
 # comparison discipline, nil-receiver safety, dropped errors), the
 # short test suite, a race-detector pass over the concurrent packages
-# (mapper worker pool, core parallel GP loop, solver hooks, obs, cache
+# (mapper worker pool, the pipeline scheduler and its staged GP flow,
+# the experiments layer fan-out, solver hooks, obs, cache
 # singleflight), and an end-to-end run-report gate: a small workload is
 # optimized with -events/-manifest, the JSONL stream is validated against
 # the schema, and a tlreport self-diff must come back regression-free.
@@ -34,7 +35,10 @@ echo "== go test -short ./..."
 go test -short ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/... ./internal/cache/...
+go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/pipeline/... ./internal/mapper/... ./internal/solver/... ./internal/cache/...
+# The experiments figure sweeps are too slow under the race detector;
+# race-check just the concurrent layer fan-out.
+go test -race -timeout 30m -run 'TestOptimizeLayers' ./internal/experiments/
 
 echo "== e2e run-report gate (thistle -events/-manifest + tlreport)"
 tmp=$(mktemp -d)
