@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-json
+.PHONY: all build vet lint test race check bench bench-json trace
 
 all: check
 
@@ -27,6 +27,14 @@ race:
 
 check: build vet lint test race
 	@echo "check: ok"
+
+# Capture a Chrome trace of a single-layer optimization and print its
+# critical-path / queue-wait report. Load /tmp/thistle.trace.json in
+# Perfetto (https://ui.perfetto.dev) or chrome://tracing to inspect it.
+trace:
+	$(GO) run ./cmd/thistle -layer resnet18_L12 -specs=false \
+		-trace-out /tmp/thistle.trace.json >/dev/null
+	$(GO) run ./cmd/tlreport trace /tmp/thistle.trace.json
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

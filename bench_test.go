@@ -11,6 +11,7 @@ package repro
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"testing"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/loopnest"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/workloads"
 )
 
@@ -389,6 +391,55 @@ func BenchmarkOptimizeWarmCache(b *testing.B) {
 			b.Fatal("warm run missed the cache")
 		}
 	}
+}
+
+// BenchmarkOptimizeTracing measures the cost of the deep-tracing layer
+// on a full cold optimization: "off" is the nil-Obs fast path (every
+// hook a nil check), "on" records the complete span forest (stage
+// spans, per-pair GP solves with phase-I/II children, sched-wait
+// attribution) plus the metrics registry, then serializes the Chrome
+// trace. The two ns/op figures bound the tracing overhead; the target
+// is nil when off and under ~2% when on.
+func BenchmarkOptimizeTracing(b *testing.B) {
+	l, _ := workloads.ByName("resnet18_L6")
+	p, err := l.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	opts := core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a}
+	b.Run("off", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OptimizeContext(context.Background(), p, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("on", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := &obs.Obs{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+			ctx := obs.NewContext(context.Background(), o)
+			if _, err := core.OptimizeContext(ctx, p, opts); err != nil {
+				b.Fatal(err)
+			}
+			var spans int
+			for _, root := range o.Tracer.Tree() {
+				spans += countSpans(root)
+			}
+			if _, err := o.Tracer.WriteChromeTrace(io.Discard, nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(spans), "spans")
+		}
+	})
+}
+
+func countSpans(si obs.SpanInfo) int {
+	n := 1
+	for _, c := range si.Children {
+		n += countSpans(c)
+	}
+	return n
 }
 
 // BenchmarkNetworkWarmCache runs a whole-network optimization (the first

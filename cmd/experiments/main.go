@@ -43,6 +43,9 @@ func run() error {
 	var rf cliutil.Flags
 	rf.Register(flag.CommandLine)
 	flag.Parse()
+	if rf.HandleVersion("experiments", os.Stdout) {
+		return nil
+	}
 
 	rt, err := rf.Setup("experiments", os.Args[1:], os.Stderr)
 	if err != nil {

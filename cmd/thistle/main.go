@@ -68,6 +68,9 @@ func run() error {
 	var rf cliutil.Flags
 	rf.Register(flag.CommandLine)
 	flag.Parse()
+	if rf.HandleVersion("thistle", os.Stdout) {
+		return nil
+	}
 
 	rt, err := rf.Setup("thistle", os.Args[1:], os.Stderr)
 	if err != nil {

@@ -50,6 +50,9 @@ func run() error {
 	var rf cliutil.Flags
 	rf.Register(flag.CommandLine)
 	flag.Parse()
+	if rf.HandleVersion("tlmapper", os.Stdout) {
+		return nil
+	}
 
 	rt, err := rf.Setup("tlmapper", os.Args[1:], os.Stderr)
 	if err != nil {

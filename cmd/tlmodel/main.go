@@ -44,6 +44,9 @@ func run() error {
 	var rf cliutil.Flags
 	rf.Register(flag.CommandLine)
 	flag.Parse()
+	if rf.HandleVersion("tlmodel", os.Stdout) {
+		return nil
+	}
 
 	rt, err := rf.Setup("tlmodel", os.Args[1:], os.Stderr)
 	if err != nil {

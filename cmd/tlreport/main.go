@@ -13,9 +13,10 @@
 //	tlreport diff -edp-tol 0.05 -wall-tol 1.0 baseline.json candidate.json
 //	tlreport validate run.events.jsonl
 //	tlreport validate -manifest run.manifest.json run.events.jsonl
+//	tlreport trace run.trace.json
 //
 // Exit codes: 0 success, 1 usage or unreadable input, 2 regressions
-// found (diff) or schema validation failed (validate).
+// found (diff) or schema validation failed (validate, trace).
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/obs/events"
 )
 
@@ -37,6 +39,8 @@ commands:
   show      render one or more manifests as a per-layer table
   diff      compare two manifests and flag regressions (exit 2)
   validate  schema-check an event stream (and optionally a manifest)
+  trace     analyze a -trace-out Chrome trace: critical path, self-time,
+            scheduler queue-wait attribution (exit 2 on invalid trace)
 
 run 'tlreport <command> -h' for command flags`)
 }
@@ -53,6 +57,11 @@ func run(args []string) int {
 		return runDiff(args[1:])
 	case "validate":
 		return runValidate(args[1:])
+	case "trace":
+		return runTrace(args[1:])
+	case "-version", "--version", "version":
+		fmt.Println(cliutil.VersionString("tlreport"))
+		return 0
 	case "-h", "-help", "--help", "help":
 		usage(os.Stdout)
 		return 0

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obs/tracefile"
+)
+
+// runTrace analyzes a -trace-out Chrome trace file: critical path,
+// per-stage self-time, and scheduler queue-wait attribution. Exit 2
+// when the file fails trace-schema validation.
+func runTrace(args []string) int {
+	fs := flag.NewFlagSet("tlreport trace", flag.ExitOnError)
+	top := fs.Int("top", 12, "self-time rows to print (0 = all)")
+	_ = fs.Parse(args) // ExitOnError: Parse terminates the process on bad flags
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "tlreport trace: exactly one trace file required")
+		return 1
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlreport trace:", err)
+		return 1
+	}
+	defer f.Close()
+	tr, err := tracefile.Read(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tlreport trace:", err)
+		return 2
+	}
+
+	fmt.Printf("trace %s", orDash(tr.TraceID()))
+	if tool := tr.Meta["tool"]; tool != "" {
+		fmt.Printf(" (%s)", tool)
+	}
+	if run := tr.Meta["run_id"]; run != "" {
+		fmt.Printf(" run %s", run)
+	}
+	wall := tr.WallUS()
+	fmt.Printf(": %d spans, wall %s\n", len(tr.Spans), us(wall))
+	if rev := tr.Meta["git_rev"]; rev != "" {
+		fmt.Printf("  built at %s\n", rev)
+	}
+	if cl := tr.Meta["clamped_spans"]; cl != "" {
+		fmt.Printf("  warning: %s span(s) clamped to parent bounds\n", cl)
+	}
+
+	fmt.Println("\ncritical path:")
+	for i, s := range tr.CriticalPath() {
+		for j := 0; j < i; j++ {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%s %s", s.Name, us(s.DurUS))
+		if wall > 0 {
+			fmt.Printf(" (%.1f%% of wall)", 100*float64(s.DurUS)/float64(wall))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nself-time by span name:")
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  name\tcount\tself\ttotal")
+	selves := tr.SelfTimes()
+	if *top > 0 && len(selves) > *top {
+		selves = selves[:*top]
+	}
+	for _, st := range selves {
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\n", st.Name, st.Count, us(st.SelfUS), us(st.TotalUS))
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "tlreport trace:", err)
+		return 1
+	}
+
+	waits := tr.QueueWaits()
+	if len(waits) == 0 {
+		fmt.Println("\nscheduler queue wait: none recorded (no contended acquires)")
+		return 0
+	}
+	var totalWait int64
+	var n int
+	for _, w := range waits {
+		totalWait += w.TotalUS
+		n += w.Count
+	}
+	fmt.Printf("\nscheduler queue wait: %d blocking acquire(s), %s total", n, us(totalWait))
+	if wall > 0 {
+		fmt.Printf(" (%.1f%% of wall)", 100*float64(totalWait)/float64(wall))
+	}
+	fmt.Println()
+	tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  under\tcount\ttotal\tmax")
+	for _, w := range waits {
+		fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\n", w.Under, w.Count, us(w.TotalUS), us(w.MaxUS))
+	}
+	if err := tw.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "tlreport trace:", err)
+		return 1
+	}
+	return 0
+}
+
+// us renders a microsecond quantity as a rounded duration.
+func us(v int64) string {
+	return (time.Duration(v) * time.Microsecond).Round(time.Microsecond).String()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}

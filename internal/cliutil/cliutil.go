@@ -20,6 +20,7 @@ package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"io"
 
 	"repro/internal/cache"
@@ -28,12 +29,16 @@ import (
 )
 
 // Flags is the shared CLI flag block: obs (verbosity, trace, metrics,
-// profiles), cache (enable, dir, capacity, stats), and events (event
-// stream, manifest, status server).
+// profiles), cache (enable, dir, capacity, stats), events (event
+// stream, manifest, status server), and -version.
 type Flags struct {
 	Obs    obs.Flags
 	Cache  cache.Flags
 	Events events.Flags
+
+	// Version is the shared -version flag; mains call HandleVersion
+	// right after flag parsing.
+	Version bool
 }
 
 // Register installs every shared flag on fs.
@@ -41,6 +46,29 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	f.Obs.Register(fs)
 	f.Cache.Register(fs)
 	f.Events.Register(fs)
+	fs.BoolVar(&f.Version, "version", false, "print the tool name and build git revision, then exit")
+}
+
+// VersionString formats tool's -version line from the git revision the
+// toolchain stamped into the binary — the same value run manifests
+// record as git_rev, so a binary, its manifests, and its trace files
+// can be correlated from the CLI alone.
+func VersionString(tool string) string {
+	rev := events.BuildRevision()
+	if rev == "" {
+		rev = "unknown (built without VCS info)"
+	}
+	return tool + " " + rev
+}
+
+// HandleVersion prints the version line to w and reports true when the
+// user passed -version; mains return immediately on true.
+func (f *Flags) HandleVersion(tool string, w io.Writer) bool {
+	if !f.Version {
+		return false
+	}
+	fmt.Fprintln(w, VersionString(tool))
+	return true
 }
 
 // Runtime is one CLI invocation's assembled shared runtime. The zero
@@ -64,6 +92,20 @@ func (f *Flags) Setup(tool string, args []string, warnw io.Writer) (*Runtime, er
 	if o, err = f.Events.Setup(o, tool, args, warnw); err != nil {
 		f.Obs.Close()
 		return nil, err
+	}
+	// Stamp trace identity: the trace ID is derived from the run ID so a
+	// -trace-out file correlates to the run's manifest and event stream;
+	// without an event stream the tracer derives its own stable ID.
+	if o != nil && o.Tracer != nil {
+		meta := map[string]string{"tool": tool}
+		if rev := events.BuildRevision(); rev != "" {
+			meta["git_rev"] = rev
+		}
+		if runID := f.Events.Recorder().RunID(); runID != "" {
+			o.Tracer.SetTraceID(obs.DeriveTraceID(runID))
+			meta["run_id"] = runID
+		}
+		f.Obs.TraceMeta = meta
 	}
 	return &Runtime{Obs: o, flags: f}, nil
 }

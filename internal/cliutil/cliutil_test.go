@@ -4,12 +4,15 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/cache"
+	"repro/internal/obs"
+	"repro/internal/obs/tracefile"
 )
 
 // parseFlags registers the shared block on a fresh FlagSet and parses
@@ -140,5 +143,80 @@ func TestManifestCacheStats(t *testing.T) {
 	got := manifestCacheStats(s)
 	if got == nil || got.Hits != 3 || got.Misses != 1 || got.HitRate != s.HitRate() {
 		t.Fatalf("manifestCacheStats = %+v", got)
+	}
+}
+
+// TestTraceOut wires -trace-out (plus -events so a run ID exists) and
+// checks Finish writes a Chrome trace that the tracefile reader
+// accepts, with the trace ID derived from the run ID and the runtime
+// metadata (tool, run_id) in otherData.
+func TestTraceOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "run.trace.json")
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	f := parseFlags(t, "-trace-out", tracePath, "-events", eventsPath)
+	rt, err := f.Setup("test", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.Obs == nil || rt.Obs.Tracer == nil {
+		t.Fatal("-trace-out did not enable the tracer")
+	}
+	runID := f.Events.Recorder().RunID()
+	if runID == "" {
+		t.Fatal("no run ID despite -events")
+	}
+	if got := rt.Obs.Tracer.TraceID(); got != obs.DeriveTraceID(runID) {
+		t.Fatalf("trace ID %q not derived from run ID %q", got, runID)
+	}
+
+	root := rt.Obs.StartSpan(nil, "optimize")
+	child := rt.Obs.StartSpan(root, "stage:solve")
+	child.End()
+	root.End()
+	if err := rt.Finish(io.Discard, cache.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	rt.Close()
+
+	raw, err := os.Open(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	trc, err := tracefile.Read(raw)
+	if err != nil {
+		t.Fatalf("trace file unreadable: %v", err)
+	}
+	if trc.TraceID() != obs.DeriveTraceID(runID) {
+		t.Fatalf("serialized trace ID = %q", trc.TraceID())
+	}
+	if trc.Meta["tool"] != "test" || trc.Meta["run_id"] != runID {
+		t.Fatalf("trace meta = %v", trc.Meta)
+	}
+	if len(trc.Spans) != 2 || trc.Roots[0].Name != "optimize" {
+		t.Fatalf("trace spans = %+v", trc.Spans)
+	}
+}
+
+// TestVersionFlag: -version is recognized by the shared block and
+// HandleVersion prints the stamped revision exactly once.
+func TestVersionFlag(t *testing.T) {
+	var out bytes.Buffer
+	f := parseFlags(t)
+	if f.HandleVersion("test", &out) || out.Len() != 0 {
+		t.Fatal("HandleVersion fired without -version")
+	}
+	f = parseFlags(t, "-version")
+	if !f.HandleVersion("test", &out) {
+		t.Fatal("HandleVersion ignored -version")
+	}
+	got := strings.TrimSpace(out.String())
+	if got != VersionString("test") || !strings.HasPrefix(got, "test ") {
+		t.Fatalf("version line = %q", got)
+	}
+	if len(got) <= len("test ") {
+		t.Fatal("version line carries no revision")
 	}
 }

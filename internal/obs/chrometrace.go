@@ -1,0 +1,307 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ChromeTraceSchema tags the Chrome trace-event files this package
+// writes (carried in otherData.schema), gating decode exactly like the
+// event-stream and manifest schemas.
+const ChromeTraceSchema = "thistle-trace-v1"
+
+// ChromeEvent is one entry of a Chrome trace-event JSON file (the
+// format chrome://tracing and Perfetto load). The writer emits complete
+// events (Ph "X") for spans and metadata events (Ph "M") for process
+// and lane names.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"` // microseconds since trace epoch
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTraceFile is the top-level object of a Chrome trace-event JSON
+// file ("JSON object format"). OtherData carries the trace identity:
+// schema, trace_id, and whatever run metadata the caller supplied
+// (tool, run_id, git_rev).
+type ChromeTraceFile struct {
+	TraceEvents     []ChromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit,omitempty"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// chromeSpan is one span flattened for serialization: bounds clamped
+// into the parent, canonical IDs assigned in sorted preorder.
+type chromeSpan struct {
+	info       *SpanInfo
+	id, parent int64
+	depth      int
+	start, end int64
+	lane       int64
+	unfinished bool
+}
+
+// WriteChromeTrace serializes the span forest as Chrome trace-event
+// JSON, loadable in Perfetto or chrome://tracing. meta entries are
+// merged into otherData next to the schema tag and trace ID.
+//
+// The serialization is canonical: siblings are sorted by (start,
+// duration, name, attrs) and span IDs are assigned in preorder over the
+// sorted forest, so two runs that produced the same spans at the same
+// (possibly fake) timestamps serialize byte-identically regardless of
+// goroutine scheduling. Each event's args carry the canonical span_id
+// and parent_id, which is how tlreport trace rebuilds the hierarchy.
+//
+// Chrome's viewer requires the events of one pid/tid to nest strictly
+// by containment, which raw spans can violate two ways: a child that
+// outlives its parent (ended after the parent's End — legal at the API
+// level), and genuinely concurrent siblings. The writer clamps escaping
+// children into their parent's bounds — returning the clamp count so
+// callers can surface it as the obs.trace.clamped metric instead of
+// emitting malformed JSON — and lane-assigns overlapping spans to
+// separate tids so concurrency renders as parallel rows. Unfinished
+// spans are extended to their parent's end (or the forest's last end)
+// and marked args.unfinished.
+func (t *Tracer) WriteChromeTrace(w io.Writer, meta map[string]string) (clamped int, err error) {
+	forest := t.Tree()
+	spans, clamped := flattenForest(forest)
+
+	other := map[string]string{"schema": ChromeTraceSchema}
+	if id := t.TraceID(); id != "" {
+		other["trace_id"] = id
+	}
+	for k, v := range meta {
+		if v != "" {
+			other[k] = v
+		}
+	}
+	if clamped > 0 {
+		other["clamped_spans"] = fmt.Sprint(clamped)
+	}
+
+	lanes := assignLanes(spans)
+	file := ChromeTraceFile{
+		TraceEvents:     make([]ChromeEvent, 0, len(spans)+lanes+1),
+		DisplayTimeUnit: "ms",
+		OtherData:       other,
+	}
+	file.TraceEvents = append(file.TraceEvents, ChromeEvent{
+		Name: "process_name", Ph: "M", PID: 1,
+		Args: map[string]any{"name": "thistle"},
+	})
+	for lane := 0; lane < lanes; lane++ {
+		file.TraceEvents = append(file.TraceEvents, ChromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: int64(lane),
+			Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+		})
+	}
+	for _, cs := range spans {
+		args := make(map[string]any, len(cs.info.Attrs)+3)
+		for k, v := range cs.info.Attrs {
+			args[k] = v
+		}
+		args["span_id"] = cs.id
+		if cs.parent != 0 {
+			args["parent_id"] = cs.parent
+		}
+		if cs.unfinished {
+			args["unfinished"] = true
+		}
+		file.TraceEvents = append(file.TraceEvents, ChromeEvent{
+			Name: cs.info.Name,
+			Cat:  "thistle",
+			Ph:   "X",
+			TS:   cs.start,
+			Dur:  cs.end - cs.start,
+			PID:  1,
+			TID:  cs.lane,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return clamped, enc.Encode(file)
+}
+
+// flattenForest sorts the forest canonically, clamps every span into
+// its parent's bounds, resolves unfinished spans, and assigns preorder
+// IDs. Returns the flattened spans in preorder and the clamp count.
+func flattenForest(forest []SpanInfo) ([]*chromeSpan, int) {
+	// Forest-wide last end bounds unfinished root spans.
+	var maxEnd int64
+	var scan func(si *SpanInfo)
+	scan = func(si *SpanInfo) {
+		if si.DurUS >= 0 && si.StartUS+si.DurUS > maxEnd {
+			maxEnd = si.StartUS + si.DurUS
+		}
+		for i := range si.Children {
+			scan(&si.Children[i])
+		}
+	}
+	for i := range forest {
+		scan(&forest[i])
+	}
+
+	var out []*chromeSpan
+	clamped := 0
+	nextID := int64(0)
+	var walk func(si *SpanInfo, parent *chromeSpan, depth int)
+	walk = func(si *SpanInfo, parent *chromeSpan, depth int) {
+		cs := &chromeSpan{info: si, depth: depth, start: si.StartUS}
+		switch {
+		case si.DurUS >= 0:
+			cs.end = si.StartUS + si.DurUS
+		case parent != nil:
+			cs.end = parent.end
+			cs.unfinished = true
+		default:
+			cs.end = maxEnd
+			cs.unfinished = true
+		}
+		if parent != nil {
+			// Clamp into the parent: a child that started before or ended
+			// after its parent (out-of-order End calls) must not escape the
+			// parent's slice, or the containment-based nesting of the
+			// Chrome format breaks.
+			was := *cs
+			if cs.start < parent.start {
+				cs.start = parent.start
+			}
+			if cs.end > parent.end {
+				cs.end = parent.end
+			}
+			if cs.start > cs.end {
+				cs.start = cs.end
+			}
+			if !cs.unfinished && (cs.start != was.start || cs.end != was.end) {
+				clamped++
+			}
+			cs.parent = parent.id
+		}
+		nextID++
+		cs.id = nextID
+		out = append(out, cs)
+		sortSiblings(si.Children)
+		for i := range si.Children {
+			walk(&si.Children[i], cs, depth+1)
+		}
+	}
+	sortSiblings(forest)
+	for i := range forest {
+		walk(&forest[i], nil, 0)
+	}
+	return out, clamped
+}
+
+// sortSiblings orders spans canonically: by start, then duration, then
+// name, then serialized attributes. The runtime creation ID is excluded
+// on purpose — it depends on goroutine scheduling, and the canonical
+// order must not.
+func sortSiblings(spans []SpanInfo) {
+	sort.SliceStable(spans, func(i, j int) bool {
+		a, b := &spans[i], &spans[j]
+		if a.StartUS != b.StartUS {
+			return a.StartUS < b.StartUS
+		}
+		if a.DurUS != b.DurUS {
+			return a.DurUS < b.DurUS
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return attrKey(a.Attrs) < attrKey(b.Attrs)
+	})
+}
+
+// attrKey serializes an attribute map into a stable comparison key
+// (encoding/json sorts map keys).
+func attrKey(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	b, err := json.Marshal(attrs)
+	if err != nil {
+		return fmt.Sprint(attrs)
+	}
+	return string(b)
+}
+
+// laneState tracks the open-interval stack of one tid during the
+// placement sweep. Intervals on a lane always form a laminar family, so
+// the Chrome viewer's containment nesting is well defined.
+type laneState struct {
+	open []*chromeSpan // ancestors-only stack, innermost last
+}
+
+// assignLanes places every span on a tid such that intervals sharing a
+// tid are pairwise nested or disjoint: spans are swept in (start,
+// depth, preorder) order; a span nests on its parent's lane when the
+// parent is that lane's innermost open interval, reuses any fully
+// drained lane otherwise, and opens a new lane as a last resort (i.e.
+// exactly when it genuinely overlaps concurrent work). Returns the
+// number of lanes used; each span's lane is stored on the span.
+func assignLanes(spans []*chromeSpan) int {
+	order := make([]*chromeSpan, len(spans))
+	copy(order, spans)
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.start != b.start {
+			return a.start < b.start
+		}
+		if a.depth != b.depth {
+			return a.depth < b.depth
+		}
+		return a.id < b.id
+	})
+	byID := make(map[int64]*chromeSpan, len(spans))
+	for _, cs := range spans {
+		byID[cs.id] = cs
+	}
+	var lanes []*laneState
+	drain := func(l *laneState, now int64) {
+		for len(l.open) > 0 {
+			top := l.open[len(l.open)-1]
+			if top.end > now || (top.end == now && top.start == now) {
+				// Still open; zero-length spans at `now` stay so that a
+				// same-timestamp child can nest under them.
+				return
+			}
+			l.open = l.open[:len(l.open)-1]
+		}
+	}
+	for _, cs := range order {
+		placed := false
+		if p := byID[cs.parent]; p != nil {
+			l := lanes[p.lane]
+			drain(l, cs.start)
+			if len(l.open) > 0 && l.open[len(l.open)-1] == p {
+				l.open = append(l.open, cs)
+				cs.lane = p.lane
+				placed = true
+			}
+		}
+		if !placed {
+			for li, l := range lanes {
+				drain(l, cs.start)
+				if len(l.open) == 0 {
+					l.open = append(l.open, cs)
+					cs.lane = int64(li)
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			lanes = append(lanes, &laneState{open: []*chromeSpan{cs}})
+			cs.lane = int64(len(lanes) - 1)
+		}
+	}
+	return len(lanes)
+}

@@ -10,8 +10,8 @@ import (
 )
 
 // Flags bundles the standard observability command-line flags shared by
-// every CLI of the reproduction (-v, -trace, -metrics, -metrics-json,
-// -cpuprofile, -memprofile). Typical use:
+// every CLI of the reproduction (-v, -trace, -trace-out, -metrics,
+// -metrics-json, -cpuprofile, -memprofile). Typical use:
 //
 //	var of obs.Flags
 //	of.Register(flag.CommandLine)
@@ -23,10 +23,16 @@ import (
 type Flags struct {
 	Verbosity   string
 	TraceFile   string
+	TraceOut    string
 	Metrics     bool
 	MetricsJSON string
 	CPUProfile  string
 	MemProfile  string
+
+	// TraceMeta is merged into the Chrome trace file's otherData
+	// (tool name, git rev, run ID). Callers populate it between Setup
+	// and Finish; cliutil does this automatically.
+	TraceMeta map[string]string
 
 	obs     *Obs
 	cpuFile *os.File
@@ -34,6 +40,7 @@ type Flags struct {
 	// before the run instead of after it; Finish fills them in.
 	memFile     *os.File
 	traceOut    *os.File
+	chromeOut   *os.File
 	metricsFile *os.File
 }
 
@@ -41,6 +48,7 @@ type Flags struct {
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Verbosity, "v", "off", "log verbosity: off | warn | info | debug | trace")
 	fs.StringVar(&f.TraceFile, "trace", "", "write the span trace tree as JSON to this file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", "write the span forest as Chrome trace-event JSON (Perfetto-loadable) to this file")
 	fs.BoolVar(&f.Metrics, "metrics", false, "print a metrics snapshot table on exit")
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "write the metrics snapshot as JSON to this file")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile (runtime/pprof) to this file")
@@ -59,7 +67,7 @@ func (f *Flags) Setup(logw io.Writer) (*Obs, error) {
 	if lvl != Off {
 		o.Log = NewLogger(logw, lvl)
 	}
-	if f.TraceFile != "" {
+	if f.TraceFile != "" || f.TraceOut != "" {
 		o.Tracer = NewTracer()
 	}
 	if f.Metrics || f.MetricsJSON != "" {
@@ -84,6 +92,7 @@ func (f *Flags) Setup(logw io.Writer) (*Obs, error) {
 	}{
 		{f.MemProfile, &f.memFile},
 		{f.TraceFile, &f.traceOut},
+		{f.TraceOut, &f.chromeOut},
 		{f.MetricsJSON, &f.metricsFile},
 	} {
 		if out.path == "" {
@@ -112,7 +121,7 @@ func (f *Flags) Close() {
 		_ = f.cpuFile.Close()
 		f.cpuFile = nil
 	}
-	for _, file := range []**os.File{&f.memFile, &f.traceOut, &f.metricsFile} {
+	for _, file := range []**os.File{&f.memFile, &f.traceOut, &f.chromeOut, &f.metricsFile} {
 		if *file != nil {
 			_ = (*file).Close()
 			*file = nil
@@ -147,6 +156,22 @@ func (f *Flags) Finish(metricsOut io.Writer) error {
 		f.traceOut = nil
 		err := f.obs.Tracer.WriteJSON(tf)
 		if cerr := tf.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	// The Chrome trace is written before the metrics snapshot so any
+	// clamped spans it counts land in the obs.trace.clamped metric of
+	// this run's table/JSON rather than vanishing.
+	if cf := f.chromeOut; cf != nil && f.obs != nil && f.obs.Tracer != nil {
+		f.chromeOut = nil
+		clamped, err := f.obs.Tracer.WriteChromeTrace(cf, f.TraceMeta)
+		if clamped > 0 {
+			f.obs.Metrics.Counter("obs.trace.clamped").Add(int64(clamped))
+		}
+		if cerr := cf.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {

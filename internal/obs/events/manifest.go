@@ -215,6 +215,13 @@ func vcsRevision() string {
 	return rev + dirty
 }
 
+// BuildRevision returns the git revision the Go toolchain stamped into
+// the running binary — the same value manifests record as git_rev —
+// or "" when built without VCS info. CLIs print it for -version so a
+// trace file or manifest can be correlated to a build from the command
+// line alone.
+func BuildRevision() string { return vcsRevision() }
+
 // RunID returns the run's identifier.
 func (r *Recorder) RunID() string {
 	if r == nil {

@@ -105,7 +105,10 @@ func Schema() map[string]EventSpec {
 		),
 		EvSolveEnd: row(
 			map[string]FieldKind{"status": KindString, "newton": KindInt, "centerings": KindInt},
-			map[string]FieldKind{"objective": KindFloat, "wall_us": KindInt},
+			map[string]FieldKind{
+				"objective": KindFloat, "wall_us": KindInt,
+				"gap": KindFloat, "phase1": KindBool,
+			},
 		),
 		EvCentering: row(
 			map[string]FieldKind{"step": KindInt, "gap": KindFloat, "newton": KindInt},

@@ -27,7 +27,8 @@ const (
 	// experiments.OptimizeLayers (same signature as an earlier layer).
 	EvLayerReused = "layer_reused"
 	// EvSolveEnd summarizes one GP barrier solve: status, Newton
-	// iterations, centerings, objective, wall time.
+	// iterations, centerings, objective, wall time, final duality gap,
+	// and whether a phase-I feasibility search was needed.
 	EvSolveEnd = "solve_end"
 	// EvCentering is one barrier centering step: duality gap, Newton
 	// count, line-search backtracks, convergence.

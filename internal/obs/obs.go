@@ -128,6 +128,9 @@ func Int64(k string, v int64) Attr { return Attr{Key: k, Value: v} }
 // Float builds a float attribute.
 func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
 
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr { return Attr{Key: k, Value: v} }
+
 // Stringer formats v lazily-ish; unlike String it accepts any value.
 func Stringer(k string, v any) Attr { return Attr{Key: k, Value: fmt.Sprint(v)} }
 

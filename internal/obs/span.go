@@ -1,26 +1,91 @@
 package obs
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Tracer records a forest of hierarchical spans. It is safe for
 // concurrent use; spans from worker goroutines may attach children to a
 // shared parent. A nil *Tracer records nothing.
+//
+// Every recorded span carries a span ID (assigned from a per-tracer
+// counter at creation, stable for the span's lifetime) and the tracer
+// carries a trace ID shared by the whole forest. The trace ID is
+// deterministically derived from the run's identity: callers that know
+// the run ID (the CLI runtime does) set it with SetTraceID(DeriveTraceID
+// (runID)); otherwise it is derived from the first root span's start
+// time, so a given run always reports one stable ID.
 type Tracer struct {
 	mu    sync.Mutex
 	roots []*Span
 	// now is the clock; overridable for tests.
-	now func() time.Time
+	now     func() time.Time
+	nextID  atomic.Int64
+	traceID atomic.Pointer[string]
 }
 
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer { return &Tracer{now: time.Now} }
+
+// Clock replaces the tracer's time source. Tests use it to produce
+// deterministic span timings (and therefore byte-identical serialized
+// traces); call it before recording any spans.
+func (t *Tracer) Clock(now func() time.Time) {
+	if t == nil || now == nil {
+		return
+	}
+	t.now = now
+}
+
+// DeriveTraceID maps an arbitrary run identity (e.g. the thistle-events
+// run_id) onto a stable 16-hex-digit trace ID. The same seed always
+// yields the same ID, which is what lets a trace file be correlated to
+// the manifest and event stream of the run that produced it.
+func DeriveTraceID(seed string) string {
+	sum := sha256.Sum256([]byte(seed))
+	return hex.EncodeToString(sum[:8])
+}
+
+// SetTraceID pins the tracer's trace ID (normally DeriveTraceID of the
+// run ID). Only the first call wins, so a late default cannot overwrite
+// the run-derived ID.
+func (t *Tracer) SetTraceID(id string) {
+	if t == nil || id == "" {
+		return
+	}
+	t.traceID.CompareAndSwap(nil, &id)
+}
+
+// TraceID returns the tracer's trace ID, deriving (and pinning) one
+// from the first root span's start time when none was set. An empty
+// tracer with no set ID returns "".
+func (t *Tracer) TraceID() string {
+	if t == nil {
+		return ""
+	}
+	if p := t.traceID.Load(); p != nil {
+		return *p
+	}
+	t.mu.Lock()
+	var epoch time.Time
+	if len(t.roots) > 0 {
+		epoch = t.roots[0].start
+	}
+	t.mu.Unlock()
+	if epoch.IsZero() {
+		return ""
+	}
+	t.SetTraceID(DeriveTraceID(epoch.UTC().Format(time.RFC3339Nano)))
+	return *t.traceID.Load()
+}
 
 // StartSpan opens a span under parent; a nil parent makes a root span.
 // The caller must End it.
@@ -28,11 +93,12 @@ func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tracer: t, name: name, start: t.now()}
+	s := &Span{tracer: t, name: name, start: t.now(), id: t.nextID.Add(1)}
 	if len(attrs) > 0 {
 		s.attrs = append(s.attrs, attrs...)
 	}
 	if parent != nil {
+		s.parent = parent
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
@@ -48,13 +114,26 @@ func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 // tracing costs a single nil check at each call site.
 type Span struct {
 	tracer *Tracer
+	parent *Span // nil for roots
 	name   string
 	start  time.Time
+	id     int64
 
 	mu       sync.Mutex
 	end      time.Time
 	attrs    []Attr
 	children []*Span
+}
+
+// ID returns the span's creation-order identifier within its tracer
+// (stable for the span's lifetime; 0 for a nil span). Creation order is
+// scheduling-dependent under parallelism — serialized trace files use
+// the canonical sorted-preorder IDs instead (see WriteChromeTrace).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End stamps the span's end time. Ending twice keeps the first stamp.
@@ -92,6 +171,8 @@ func (s *Span) Annotate(attrs ...Attr) {
 // SpanInfo is an immutable snapshot of one recorded span.
 type SpanInfo struct {
 	Name string `json:"name"`
+	// ID is the span's creation-order identifier (see Span.ID).
+	ID int64 `json:"id"`
 	// StartUS is the span start as microseconds since the first recorded
 	// span's start.
 	StartUS int64 `json:"start_us"`
@@ -136,6 +217,7 @@ func (s *Span) snapshot(epoch time.Time) SpanInfo {
 	s.mu.Unlock()
 	info := SpanInfo{
 		Name:    s.name,
+		ID:      s.id,
 		StartUS: s.start.Sub(epoch).Microseconds(),
 		DurUS:   -1,
 	}

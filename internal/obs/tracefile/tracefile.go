@@ -1,0 +1,270 @@
+// Package tracefile reads the Chrome trace-event JSON files the obs
+// layer writes via -trace-out (schema thistle-trace-v1) and answers the
+// profiling questions tlreport trace asks of them: where is the
+// critical path, which stage owns the wall clock (self-time), and how
+// much of the run was spent waiting on the scheduler rather than
+// computing. It is a consumer-side companion to obs.WriteChromeTrace —
+// the hierarchy is rebuilt from the span_id/parent_id args the writer
+// stamps into every event.
+package tracefile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/obs"
+)
+
+// SchedWaitSpan is the span name the pipeline scheduler records for a
+// blocking Acquire; aggregate queue-wait attribution sums these.
+const SchedWaitSpan = "sched-wait"
+
+// Span is one reconstructed span of a trace file.
+type Span struct {
+	ID       int64
+	ParentID int64 // 0 for roots
+	Name     string
+	StartUS  int64
+	DurUS    int64
+	Args     map[string]any
+	Parent   *Span
+	Children []*Span
+}
+
+// EndUS returns the span's end timestamp.
+func (s *Span) EndUS() int64 { return s.StartUS + s.DurUS }
+
+// Trace is one parsed thistle-trace-v1 file.
+type Trace struct {
+	// Meta is the file's otherData: schema, trace_id, tool, git_rev,
+	// run_id, clamped_spans.
+	Meta map[string]string
+	// Roots are the top-level spans, in file (canonical preorder) order.
+	Roots []*Span
+	// Spans is every span, in file order.
+	Spans []*Span
+}
+
+// TraceID returns the file's trace identity ("" when absent).
+func (t *Trace) TraceID() string { return t.Meta["trace_id"] }
+
+// Read parses and validates a thistle-trace-v1 Chrome trace file: the
+// schema tag must match, every complete event needs a positive-or-zero
+// duration and a valid span_id, parent references must resolve to an
+// earlier span, and children must lie within their parent's bounds
+// (the writer clamps, so an escaping child means a corrupt file).
+func Read(r io.Reader) (*Trace, error) {
+	var file obs.ChromeTraceFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("tracefile: decode: %w", err)
+	}
+	if got := file.OtherData["schema"]; got != obs.ChromeTraceSchema {
+		return nil, fmt.Errorf("tracefile: schema %q, want %q", got, obs.ChromeTraceSchema)
+	}
+	tr := &Trace{Meta: file.OtherData}
+	byID := make(map[int64]*Span)
+	for i, ev := range file.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue // metadata (process/thread names)
+		case "X":
+		default:
+			return nil, fmt.Errorf("tracefile: event %d: unsupported phase %q", i, ev.Ph)
+		}
+		if ev.Dur < 0 {
+			return nil, fmt.Errorf("tracefile: event %d (%s): negative duration %d", i, ev.Name, ev.Dur)
+		}
+		id, err := argInt(ev.Args, "span_id")
+		if err != nil {
+			return nil, fmt.Errorf("tracefile: event %d (%s): %w", i, ev.Name, err)
+		}
+		if id <= 0 || byID[id] != nil {
+			return nil, fmt.Errorf("tracefile: event %d (%s): invalid or duplicate span_id %d", i, ev.Name, id)
+		}
+		s := &Span{ID: id, Name: ev.Name, StartUS: ev.TS, DurUS: ev.Dur, Args: ev.Args}
+		if _, ok := ev.Args["parent_id"]; ok {
+			pid, err := argInt(ev.Args, "parent_id")
+			if err != nil {
+				return nil, fmt.Errorf("tracefile: event %d (%s): %w", i, ev.Name, err)
+			}
+			p := byID[pid]
+			if p == nil {
+				return nil, fmt.Errorf("tracefile: event %d (%s): parent_id %d not seen", i, ev.Name, pid)
+			}
+			if s.StartUS < p.StartUS || s.EndUS() > p.EndUS() {
+				return nil, fmt.Errorf("tracefile: event %d (%s): escapes parent %s bounds", i, ev.Name, p.Name)
+			}
+			s.ParentID = pid
+			s.Parent = p
+			p.Children = append(p.Children, s)
+		} else {
+			tr.Roots = append(tr.Roots, s)
+		}
+		byID[id] = s
+		tr.Spans = append(tr.Spans, s)
+	}
+	if len(tr.Spans) == 0 {
+		return nil, fmt.Errorf("tracefile: no spans")
+	}
+	return tr, nil
+}
+
+// argInt extracts an integer-valued arg (encoding/json decodes numbers
+// as float64).
+func argInt(args map[string]any, key string) (int64, error) {
+	v, ok := args[key]
+	if !ok {
+		return 0, fmt.Errorf("missing %s arg", key)
+	}
+	f, ok := v.(float64)
+	if !ok || f != float64(int64(f)) {
+		return 0, fmt.Errorf("%s arg %v is not an integer", key, v)
+	}
+	return int64(f), nil
+}
+
+// CriticalPath returns the dominant chain of spans: starting from the
+// longest root, each step descends into the child with the largest
+// duration (ties: later end, then lower ID, so the path is
+// deterministic). For a pipeline trace this walks optimize → slowest
+// placement → slowest stage → slowest GP pair, answering "where did
+// the wall clock go" one level at a time.
+func (t *Trace) CriticalPath() []*Span {
+	pick := func(cands []*Span) *Span {
+		var best *Span
+		for _, s := range cands {
+			if best == nil {
+				best = s
+				continue
+			}
+			switch {
+			case s.DurUS != best.DurUS:
+				if s.DurUS > best.DurUS {
+					best = s
+				}
+			case s.EndUS() != best.EndUS():
+				if s.EndUS() > best.EndUS() {
+					best = s
+				}
+			case s.ID < best.ID:
+				best = s
+			}
+		}
+		return best
+	}
+	var path []*Span
+	for s := pick(t.Roots); s != nil; s = pick(s.Children) {
+		path = append(path, s)
+	}
+	return path
+}
+
+// SelfTime is one span name's aggregate self-time: the wall clock its
+// spans held exclusively, i.e. their durations minus their children's.
+type SelfTime struct {
+	Name   string
+	Count  int
+	SelfUS int64
+	// TotalUS is the summed (inclusive) duration of the name's spans.
+	TotalUS int64
+}
+
+// SelfTimes aggregates per-name self-time over the whole trace, sorted
+// by self-time descending (ties by name). A span whose concurrent
+// children overlap can cover more child-time than its own duration;
+// self-time is clamped at zero rather than going negative.
+func (t *Trace) SelfTimes() []SelfTime {
+	acc := map[string]*SelfTime{}
+	for _, s := range t.Spans {
+		var childUS int64
+		for _, c := range s.Children {
+			childUS += c.DurUS
+		}
+		self := s.DurUS - childUS
+		if self < 0 {
+			self = 0
+		}
+		a := acc[s.Name]
+		if a == nil {
+			a = &SelfTime{Name: s.Name}
+			acc[s.Name] = a
+		}
+		a.Count++
+		a.SelfUS += self
+		a.TotalUS += s.DurUS
+	}
+	out := make([]SelfTime, 0, len(acc))
+	for _, a := range acc {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SelfUS != out[j].SelfUS {
+			return out[i].SelfUS > out[j].SelfUS
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// QueueWait is the aggregate scheduler queue-wait attribution of one
+// waiting site (the sched-wait span's parent name).
+type QueueWait struct {
+	// Under is the parent span name the waits occurred beneath
+	// ("(root)" for parentless waits).
+	Under   string
+	Count   int
+	TotalUS int64
+	MaxUS   int64
+}
+
+// QueueWaits aggregates every sched-wait span by the span it waited
+// under, sorted by total wait descending (ties by name). The summed
+// TotalUS over all entries is the run's aggregate queue wait.
+func (t *Trace) QueueWaits() []QueueWait {
+	acc := map[string]*QueueWait{}
+	for _, s := range t.Spans {
+		if s.Name != SchedWaitSpan {
+			continue
+		}
+		under := "(root)"
+		if s.Parent != nil {
+			under = s.Parent.Name
+		}
+		a := acc[under]
+		if a == nil {
+			a = &QueueWait{Under: under}
+			acc[under] = a
+		}
+		a.Count++
+		a.TotalUS += s.DurUS
+		if s.DurUS > a.MaxUS {
+			a.MaxUS = s.DurUS
+		}
+	}
+	out := make([]QueueWait, 0, len(acc))
+	for _, a := range acc {
+		out = append(out, *a)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].TotalUS != out[j].TotalUS {
+			return out[i].TotalUS > out[j].TotalUS
+		}
+		return out[i].Under < out[j].Under
+	})
+	return out
+}
+
+// WallUS returns the trace's total wall clock: the latest end over the
+// root spans (roots all share the first span's start as epoch 0).
+func (t *Trace) WallUS() int64 {
+	var end int64
+	for _, r := range t.Roots {
+		if r.EndUS() > end {
+			end = r.EndUS()
+		}
+	}
+	return end
+}

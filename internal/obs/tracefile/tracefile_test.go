@@ -1,0 +1,165 @@
+package tracefile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildTrace writes a synthetic pipeline-shaped trace through the real
+// writer and reads it back: root optimize 0–100ms, a solve stage
+// 10–90ms with two gp-pair children (one preceded by a sched-wait),
+// and a short validate stage 90–95ms.
+func buildTrace(t *testing.T) *Trace {
+	t.Helper()
+	tr := obs.NewTracer()
+	epoch := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	now := epoch
+	tr.Clock(func() time.Time { return now })
+	at := func(ms int) { now = epoch.Add(time.Duration(ms) * time.Millisecond) }
+
+	root := tr.StartSpan(nil, "optimize")
+	at(10)
+	solve := tr.StartSpan(root, "stage:solve")
+	wait := tr.StartSpan(solve, SchedWaitSpan)
+	at(25)
+	wait.End()
+	p1 := tr.StartSpan(solve, "gp-pair")
+	at(80)
+	p1.End()
+	p2 := tr.StartSpan(solve, "gp-pair")
+	at(90)
+	p2.End()
+	solve.End()
+	val := tr.StartSpan(root, "stage:validate")
+	at(95)
+	val.End()
+	at(100)
+	root.End()
+
+	tr.SetTraceID(obs.DeriveTraceID("run-tf"))
+	var buf bytes.Buffer
+	if _, err := tr.WriteChromeTrace(&buf, map[string]string{"tool": "test"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestReadRoundTrip(t *testing.T) {
+	tr := buildTrace(t)
+	if tr.TraceID() != obs.DeriveTraceID("run-tf") {
+		t.Fatalf("trace ID lost: %q", tr.TraceID())
+	}
+	if len(tr.Roots) != 1 || tr.Roots[0].Name != "optimize" {
+		t.Fatalf("roots wrong: %+v", tr.Roots)
+	}
+	if len(tr.Spans) != 6 {
+		t.Fatalf("span count = %d, want 6", len(tr.Spans))
+	}
+	if got := tr.WallUS(); got != 100_000 {
+		t.Fatalf("wall = %d, want 100000", got)
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	tr := buildTrace(t)
+	var names []string
+	for _, s := range tr.CriticalPath() {
+		names = append(names, s.Name)
+	}
+	want := "optimize > stage:solve > gp-pair"
+	if got := strings.Join(names, " > "); got != want {
+		t.Fatalf("critical path %q, want %q", got, want)
+	}
+	// The chosen gp-pair is the longer one (55ms, not 10ms).
+	leaf := tr.CriticalPath()[2]
+	if leaf.DurUS != 55_000 {
+		t.Fatalf("critical gp-pair dur = %d, want 55000", leaf.DurUS)
+	}
+}
+
+func TestSelfTimes(t *testing.T) {
+	tr := buildTrace(t)
+	byName := map[string]SelfTime{}
+	for _, st := range tr.SelfTimes() {
+		byName[st.Name] = st
+	}
+	// stage:solve 10–90 minus children (15 wait + 55 + 10 pairs) = 0.
+	if got := byName["stage:solve"]; got.SelfUS != 0 || got.TotalUS != 80_000 {
+		t.Fatalf("stage:solve self/total = %d/%d, want 0/80000", got.SelfUS, got.TotalUS)
+	}
+	// gp-pair: two spans, fully self.
+	if got := byName["gp-pair"]; got.Count != 2 || got.SelfUS != 65_000 {
+		t.Fatalf("gp-pair = %+v, want count 2 self 65000", got)
+	}
+	// optimize 0–100 minus stages (80 + 5) = 15.
+	if got := byName["optimize"]; got.SelfUS != 15_000 {
+		t.Fatalf("optimize self = %d, want 15000", got.SelfUS)
+	}
+	// Sorted descending by self-time.
+	sts := tr.SelfTimes()
+	for i := 1; i < len(sts); i++ {
+		if sts[i].SelfUS > sts[i-1].SelfUS {
+			t.Fatalf("self-times not sorted: %+v", sts)
+		}
+	}
+}
+
+func TestQueueWaits(t *testing.T) {
+	tr := buildTrace(t)
+	qs := tr.QueueWaits()
+	if len(qs) != 1 {
+		t.Fatalf("queue-wait groups = %d, want 1", len(qs))
+	}
+	q := qs[0]
+	if q.Under != "stage:solve" || q.Count != 1 || q.TotalUS != 15_000 || q.MaxUS != 15_000 {
+		t.Fatalf("queue wait = %+v", q)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"not json":     `{`,
+		"wrong schema": `{"traceEvents":[],"otherData":{"schema":"nope"}}`,
+		"no spans":     `{"traceEvents":[],"otherData":{"schema":"thistle-trace-v1"}}`,
+		"missing span_id": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":0,"args":{}}
+		],"otherData":{"schema":"thistle-trace-v1"}}`,
+		"negative dur": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":-5,"pid":1,"tid":0,"args":{"span_id":1}}
+		],"otherData":{"schema":"thistle-trace-v1"}}`,
+		"dangling parent": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":0,"args":{"span_id":1,"parent_id":7}}
+		],"otherData":{"schema":"thistle-trace-v1"}}`,
+		"child escapes parent": `{"traceEvents":[
+			{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":0,"args":{"span_id":1}},
+			{"name":"b","ph":"X","ts":3,"dur":9,"pid":1,"tid":0,"args":{"span_id":2,"parent_id":1}}
+		],"otherData":{"schema":"thistle-trace-v1"}}`,
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted invalid input", name)
+		}
+	}
+}
+
+func TestReadSkipsMetadataEvents(t *testing.T) {
+	in := `{"traceEvents":[
+		{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"x"}},
+		{"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":0,"args":{"span_id":1}}
+	],"otherData":{"schema":"thistle-trace-v1"}}`
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Spans) != 1 || tr.Spans[0].Name != "a" {
+		t.Fatalf("spans = %+v", tr.Spans)
+	}
+}

@@ -248,7 +248,23 @@ func executeOne(ctx context.Context, p *loopnest.Problem, opts Options, sched *S
 	}
 	for _, st := range Stages() {
 		start := time.Now()
+		// Each stage runs under its own "stage:<name>" span: spans the
+		// stage opens (and the scheduler's sched-wait children, which
+		// follow the context's current span) nest beneath it. Stages run
+		// sequentially on this goroutine, so the swap is safe.
+		stageSpan := o.StartSpan(r.parent, "stage:"+st.Name())
+		var prevParent *obs.Span
+		var prevCtx context.Context
+		if stageSpan != nil {
+			prevParent, prevCtx = r.parent, r.ctx
+			r.parent = stageSpan
+			r.ctx = obs.ContextWithSpan(r.ctx, stageSpan)
+		}
 		err := st.Run(r)
+		if stageSpan != nil {
+			r.parent, r.ctx = prevParent, prevCtx
+			stageSpan.End()
+		}
 		if o.MetricsEnabled() {
 			o.Histogram("pipeline.stage." + st.Name()).Observe(time.Since(start))
 		}

@@ -4,6 +4,10 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Scheduler is the run-wide admission bound for leaf compute jobs: GP
@@ -19,8 +23,56 @@ import (
 // context with ContextWithScheduler; batch drivers like
 // experiments.OptimizeLayers do exactly that, which is what lets them
 // submit every layer concurrently without oversubscribing CPUs.
+// Admission telemetry: every Acquire observes its queue wait in the
+// pipeline.sched.wait histogram, and two live gauges —
+// pipeline.sched.queue_depth (goroutines blocked in Acquire) and
+// pipeline.sched.in_flight (tokens held) — appear on /statusz and the
+// Prometheus export like any other registry metric. Acquires that
+// actually block additionally record a "sched-wait" child span under
+// the context's current span, which is what lets tlreport trace
+// attribute wall-clock to queueing rather than compute.
 type Scheduler struct {
 	sem chan struct{}
+	// met caches the metric handles resolved from the first Acquire
+	// context whose Obs has metrics enabled, so Release needs no context
+	// and steady-state admission touches only atomics.
+	met atomic.Pointer[schedMetrics]
+}
+
+// schedMetrics is the scheduler's resolved metric handle set.
+type schedMetrics struct {
+	wait       *obs.Histogram
+	queueDepth *obs.Gauge
+	inFlight   *obs.Gauge
+}
+
+// noSchedMetrics marks "resolution attempted, metrics disabled" so
+// metric-less runs don't retry the registry lookup on every Acquire.
+var noSchedMetrics = &schedMetrics{}
+
+// metrics resolves (once) and returns the scheduler's metric handles,
+// or nil when the run has no metrics registry. A shared scheduler first
+// used by a metric-less run upgrades when a registry-bearing context
+// shows up; all handle fields are nil-safe either way.
+func (s *Scheduler) metrics(o *obs.Obs) *schedMetrics {
+	m := s.met.Load()
+	if m != nil && (m != noSchedMetrics || !o.MetricsEnabled()) {
+		if m == noSchedMetrics {
+			return nil
+		}
+		return m
+	}
+	if !o.MetricsEnabled() {
+		s.met.CompareAndSwap(nil, noSchedMetrics)
+		return nil
+	}
+	m = &schedMetrics{
+		wait:       o.Histogram("pipeline.sched.wait"),
+		queueDepth: o.Gauge("pipeline.sched.queue_depth"),
+		inFlight:   o.Gauge("pipeline.sched.in_flight"),
+	}
+	s.met.Store(m)
+	return m
 }
 
 // NewScheduler builds a scheduler admitting at most n concurrent jobs.
@@ -40,21 +92,69 @@ func (s *Scheduler) Size() int {
 	return cap(s.sem)
 }
 
-// acquire blocks until a token is free or ctx is cancelled.
-func (s *Scheduler) acquire(ctx context.Context) error {
+// Acquire blocks until a token is free or ctx is cancelled, recording
+// queue-wait telemetry from the context's Obs: the wait duration always
+// lands in the pipeline.sched.wait histogram (zero for uncontended
+// admission), and an acquire that actually blocks also records a
+// "sched-wait" child span under the context's current span. A nil
+// scheduler admits immediately.
+func (s *Scheduler) Acquire(ctx context.Context) error {
+	if s == nil {
+		return ctx.Err()
+	}
 	// Prefer reporting cancellation even when a token is also free.
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	o := obs.FromContext(ctx)
+	m := s.metrics(o)
 	select {
 	case s.sem <- struct{}{}:
+		// Uncontended fast path: no span — a trace flooded with
+		// zero-length sched-wait spans would bury the signal.
+		if m != nil {
+			m.wait.Observe(0)
+			m.inFlight.Add(1)
+		}
 		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
 	}
+	span := o.StartSpan(obs.SpanFromContext(ctx), "sched-wait")
+	start := time.Now()
+	if m != nil {
+		m.queueDepth.Add(1)
+	}
+	var err error
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	wait := time.Since(start)
+	if m != nil {
+		m.queueDepth.Add(-1)
+		m.wait.Observe(wait)
+		if err == nil {
+			m.inFlight.Add(1)
+		}
+	}
+	if span != nil {
+		span.SetAttr("wait_us", wait.Microseconds())
+		span.End()
+	}
+	return err
 }
 
-func (s *Scheduler) release() { <-s.sem }
+// Release returns a token acquired with Acquire. Nil-safe.
+func (s *Scheduler) Release() {
+	if s == nil {
+		return
+	}
+	<-s.sem
+	if m := s.met.Load(); m != nil {
+		m.inFlight.Add(-1)
+	}
+}
 
 // ForEach runs fn(0..n-1), each call holding one scheduler token, and
 // waits for every started call to finish. Admission honors context
@@ -106,14 +206,14 @@ func (s *Scheduler) ForEach(ctx context.Context, n int, fn func(i int) error) er
 		if stopped() {
 			break
 		}
-		if err := s.acquire(ctx); err != nil {
+		if err := s.Acquire(ctx); err != nil {
 			admitErr = err
 			break
 		}
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			defer s.release()
+			defer s.Release()
 			record(i, fn(i))
 		}(i)
 	}

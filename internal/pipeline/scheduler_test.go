@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestForEachBoundedConcurrency checks the admission invariant: no more
@@ -126,6 +128,130 @@ func TestForEachNilScheduler(t *testing.T) {
 	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
 		t.Fatalf("sequential order = %v, want [0 1 2]", order)
 	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAcquireQueueWaitTelemetry drives one contended acquire through
+// an instrumented context and checks all three signals: the wait
+// histogram (observed for both the uncontended and the blocking
+// acquire), the live queue-depth/in-flight gauges, and the sched-wait
+// child span recorded under the context's current span.
+func TestAcquireQueueWaitTelemetry(t *testing.T) {
+	s := NewScheduler(1)
+	o := &obs.Obs{Tracer: obs.NewTracer(), Metrics: obs.NewRegistry()}
+	pass := o.Tracer.StartSpan(nil, "pass")
+	ctx := obs.ContextWithSpan(obs.NewContext(context.Background(), o), pass)
+
+	if err := s.Acquire(ctx); err != nil { // uncontended
+		t.Fatal(err)
+	}
+	if got := o.Gauge("pipeline.sched.in_flight").Value(); got != 1 {
+		t.Fatalf("in_flight after acquire = %d, want 1", got)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire(ctx) }()
+	waitFor(t, "second acquire to block", func() bool {
+		return o.Gauge("pipeline.sched.queue_depth").Value() == 1
+	})
+	s.Release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Gauge("pipeline.sched.queue_depth").Value(); got != 0 {
+		t.Fatalf("queue_depth after admission = %d, want 0", got)
+	}
+	if got := o.Gauge("pipeline.sched.in_flight").Value(); got != 1 {
+		t.Fatalf("in_flight = %d, want 1", got)
+	}
+	s.Release()
+	if got := o.Gauge("pipeline.sched.in_flight").Value(); got != 0 {
+		t.Fatalf("in_flight after release = %d, want 0", got)
+	}
+
+	snap := o.Metrics.Snapshot()
+	var hist *obs.HistogramValue
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "pipeline.sched.wait" {
+			hist = &snap.Histograms[i]
+		}
+	}
+	if hist == nil || hist.Count != 2 {
+		t.Fatalf("pipeline.sched.wait histogram = %+v, want 2 observations", hist)
+	}
+
+	pass.End()
+	tree := o.Tracer.Tree()
+	var waits int
+	for _, c := range tree[0].Children {
+		if c.Name == "sched-wait" {
+			waits++
+			if c.DurUS < 0 {
+				t.Fatal("sched-wait span never ended")
+			}
+			if _, ok := c.Attrs["wait_us"]; !ok {
+				t.Fatalf("sched-wait span missing wait_us attr: %+v", c.Attrs)
+			}
+		}
+	}
+	if waits != 1 {
+		t.Fatalf("%d sched-wait spans, want 1 (only the blocking acquire records one)", waits)
+	}
+}
+
+// TestAcquireCancellationTelemetry cancels a blocked acquire and checks
+// the gauges settle back: the waiter leaves the queue and never counts
+// as in-flight.
+func TestAcquireCancellationTelemetry(t *testing.T) {
+	s := NewScheduler(1)
+	o := &obs.Obs{Metrics: obs.NewRegistry()}
+	ctx, cancel := context.WithCancel(obs.NewContext(context.Background(), o))
+	defer cancel()
+	if err := s.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Acquire(ctx) }()
+	waitFor(t, "acquire to block", func() bool {
+		return o.Gauge("pipeline.sched.queue_depth").Value() == 1
+	})
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("blocked Acquire after cancel = %v, want context.Canceled", err)
+	}
+	if got := o.Gauge("pipeline.sched.queue_depth").Value(); got != 0 {
+		t.Fatalf("queue_depth after cancel = %d, want 0", got)
+	}
+	if got := o.Gauge("pipeline.sched.in_flight").Value(); got != 1 {
+		t.Fatalf("in_flight = %d, want 1 (only the first acquire)", got)
+	}
+	s.Release()
+}
+
+// TestAcquireNilSchedulerAndNoObs: both degenerate paths stay no-ops.
+func TestAcquireNilSchedulerAndNoObs(t *testing.T) {
+	var nilS *Scheduler
+	if err := nilS.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	nilS.Release() // must not panic
+
+	s := NewScheduler(2)
+	if err := s.Acquire(context.Background()); err != nil { // no Obs in ctx
+		t.Fatal(err)
+	}
+	s.Release()
 }
 
 // TestSchedulerContext round-trips a scheduler through a context and

@@ -70,7 +70,10 @@ func (r *Run) solvePass(capSlack bool) ([]solvedPair, error) {
 	subC := o.Counter("core.gp_suboptimal")
 	results := make([]*solvedPair, len(r.jobs))
 	var mu sync.Mutex
-	err := r.sched.ForEach(r.ctx, len(r.jobs), func(i int) error {
+	// Admission happens under the pass span so scheduler queue waits
+	// show up as its sched-wait children.
+	ctx := obs.ContextWithSpan(r.ctx, passSpan)
+	err := r.sched.ForEach(ctx, len(r.jobs), func(i int) error {
 		j := r.jobs[i]
 		var pairSpan *obs.Span
 		if tracing {

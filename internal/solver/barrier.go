@@ -104,13 +104,23 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result reports the solution of a Solve call.
+// Result reports the solution of a Solve call, including the
+// convergence telemetry the warm-start work needs: how much of the
+// budget went to feasibility search vs. path following, and how tight
+// the final certificate is.
 type Result struct {
 	Y          []float64 // point in the original y space
 	Objective  float64   // f0(Y)
 	Status     Status
 	Newton     int // total Newton iterations
 	Centerings int
+	// Gap is the final duality gap m/t of the barrier path (0 when the
+	// problem had no inequality constraints or was fully determined).
+	Gap float64
+	// PhaseI reports whether the solve needed a phase-I feasibility
+	// search; false means the starting point (origin or warm hint) was
+	// already strictly feasible.
+	PhaseI bool
 }
 
 // Solve minimizes the problem starting from the hint y0 (projected onto
@@ -136,6 +146,8 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			"newton":     res.Newton,
 			"centerings": res.Centerings,
 			"objective":  res.Objective,
+			"gap":        res.Gap,
+			"phase1":     res.PhaseI,
 			"wall_us":    time.Since(t0).Microseconds(),
 		})
 	}
@@ -149,6 +161,8 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			obs.Int("newton", res.Newton),
 			obs.Int("centerings", res.Centerings),
 			obs.String("status", res.Status.String()),
+			obs.Float("gap", res.Gap),
+			obs.Bool("phase1", res.PhaseI),
 		)
 		span.End()
 	}
@@ -218,9 +232,11 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	}
 
 	totalNewton := 0
+	usedPhaseI := false
 
 	// Phase I if the initial point is not strictly feasible.
 	if !strictlyFeasible(ineq, z, 1e-9) {
+		usedPhaseI = true
 		ph := opts.Obs.StartSpan(opts.Span, "phase-i")
 		opts.Obs.Counter("solver.phase1_runs").Inc()
 		var ok bool
@@ -232,7 +248,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			ph.End()
 		}
 		if !ok {
-			return Result{Status: Infeasible, Newton: totalNewton}, nil
+			return Result{Status: Infeasible, Newton: totalNewton, PhaseI: true}, nil
 		}
 	}
 
@@ -243,6 +259,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	t := opts.T0
 	centerings := 0
 	status := Optimal
+	finalGap := 0.0
 	emit := opts.Obs.EventsEnabled()
 	if m == 0 {
 		// Unconstrained: single Newton minimization of the objective.
@@ -260,6 +277,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 				status = Suboptimal
 			}
 			gap := float64(m) / t
+			finalGap = gap
 			if emit {
 				opts.Obs.Emit(obs.EvCentering, map[string]any{
 					"step":       centerings,
@@ -291,6 +309,8 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 		Status:     status,
 		Newton:     totalNewton,
 		Centerings: centerings,
+		Gap:        finalGap,
+		PhaseI:     usedPhaseI,
 	}, nil
 }
 

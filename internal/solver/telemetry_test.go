@@ -1,0 +1,156 @@
+package solver
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/obs/events"
+)
+
+// sinkLog is a concurrency-safe obs.EventSink capturing emitted events.
+type sinkLog struct {
+	mu     sync.Mutex
+	types  []string
+	fields []map[string]any
+}
+
+func (s *sinkLog) Emit(typ string, fields map[string]any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.types = append(s.types, typ)
+	s.fields = append(s.fields, fields)
+}
+
+func (s *sinkLog) last(typ string) map[string]any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.types) - 1; i >= 0; i-- {
+		if s.types[i] == typ {
+			return s.fields[i]
+		}
+	}
+	return nil
+}
+
+// tinyGP is the classic minimize x+y s.t. x·y ≥ 1 in log space; from
+// the origin the constraint is active (boundary), so phase I runs.
+func tinyGP() *Problem {
+	return &Problem{
+		N:    2,
+		Obj:  LSE{A: [][]float64{{1, 0}, {0, 1}}, B: []float64{0, 0}},
+		Ineq: []LSE{Linear([]float64{-1, -1}, 0)},
+	}
+}
+
+// TestSolveConvergenceTelemetry checks the Result's convergence fields:
+// the certified gap is below tolerance for an optimal solve and the
+// phase-I flag reflects whether a feasibility search ran.
+func TestSolveConvergenceTelemetry(t *testing.T) {
+	res, err := Solve(tinyGP(), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if !res.PhaseI {
+		t.Fatal("origin start sits on the constraint boundary: phase I should run")
+	}
+	if res.Gap <= 0 || res.Gap >= 1e-8 {
+		t.Fatalf("final gap %g not in (0, tol)", res.Gap)
+	}
+
+	// A strictly feasible warm hint skips phase I.
+	res2, err := Solve(tinyGP(), []float64{1, 1}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Status != Optimal || res2.PhaseI {
+		t.Fatalf("warm solve = status %v phase1 %v, want optimal without phase I", res2.Status, res2.PhaseI)
+	}
+
+	// Infeasible problems report PhaseI and a zero (uncertified) gap.
+	infeas := &Problem{
+		N:   1,
+		Obj: Linear([]float64{1}, 0),
+		Ineq: []LSE{
+			Linear([]float64{1}, -math.Log(0.5)),
+			Linear([]float64{-1}, math.Log(2)),
+		},
+	}
+	res3, err := Solve(infeas, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Status != Infeasible || !res3.PhaseI || res3.Gap != 0 {
+		t.Fatalf("infeasible solve = %+v, want infeasible via phase I with gap 0", res3)
+	}
+}
+
+// TestSolveEndEventFields checks the solve_end payload carries the new
+// gap/phase1 fields and that every field conforms to the
+// thistle-events-v1 schema (the dynamic twin of the tlvet eventfields
+// analyzer).
+func TestSolveEndEventFields(t *testing.T) {
+	sink := &sinkLog{}
+	o := &obs.Obs{Events: sink}
+	res, err := Solve(tinyGP(), nil, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := sink.last(obs.EvSolveEnd)
+	if ev == nil {
+		t.Fatal("no solve_end emitted")
+	}
+	if ev["gap"] != res.Gap {
+		t.Fatalf("solve_end gap = %v, want %v", ev["gap"], res.Gap)
+	}
+	if ev["phase1"] != res.PhaseI {
+		t.Fatalf("solve_end phase1 = %v, want %v", ev["phase1"], res.PhaseI)
+	}
+	spec, ok := events.Schema()[obs.EvSolveEnd]
+	if !ok {
+		t.Fatal("solve_end missing from schema")
+	}
+	for field := range ev {
+		if _, ok := spec.Kind(field); !ok {
+			t.Errorf("solve_end field %q not declared in events.Schema()", field)
+		}
+	}
+	for field := range spec.Required {
+		if _, ok := ev[field]; !ok {
+			t.Errorf("solve_end missing required field %q", field)
+		}
+	}
+}
+
+// TestSolveSpanConvergenceAttrs checks the solve span is annotated with
+// the convergence telemetry.
+func TestSolveSpanConvergenceAttrs(t *testing.T) {
+	o := &obs.Obs{Tracer: obs.NewTracer()}
+	res, err := Solve(tinyGP(), nil, Options{Obs: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := o.Tracer.Tree()
+	if len(tree) != 1 || tree[0].Name != "solve" {
+		t.Fatalf("span forest = %+v", tree)
+	}
+	attrs := tree[0].Attrs
+	if attrs["gap"] != res.Gap || attrs["phase1"] != res.PhaseI {
+		t.Fatalf("solve span attrs = %v, want gap %v phase1 %v", attrs, res.Gap, res.PhaseI)
+	}
+	if attrs["newton"] != int64(res.Newton) || attrs["status"] != "optimal" {
+		t.Fatalf("solve span attrs = %v", attrs)
+	}
+	// Phase I ran, so a phase-i child span must exist.
+	var names []string
+	for _, c := range tree[0].Children {
+		names = append(names, c.Name)
+	}
+	if len(names) != 2 || names[0] != "phase-i" || names[1] != "phase-ii" {
+		t.Fatalf("solve children = %v, want [phase-i phase-ii]", names)
+	}
+}

@@ -7,9 +7,10 @@
 # (mapper worker pool, the pipeline scheduler and its staged GP flow,
 # the experiments layer fan-out, solver hooks, obs, cache
 # singleflight), and an end-to-end run-report gate: a small workload is
-# optimized with -events/-manifest, the JSONL stream is validated against
-# the schema, and a tlreport self-diff must come back regression-free.
-# Equivalent to `make check`.
+# optimized with -events/-manifest/-trace-out, the JSONL stream is
+# validated against the schema, a tlreport self-diff must come back
+# regression-free, and the Chrome trace file must parse and report a
+# critical path (`tlreport trace`). Equivalent to `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -46,8 +47,17 @@ trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/thistle" ./cmd/thistle
 go build -o "$tmp/tlreport" ./cmd/tlreport
 "$tmp/thistle" -layer resnet18_L12 -specs=false \
-    -events "$tmp/run.events.jsonl" -manifest "$tmp/run.manifest.json" >/dev/null
+    -events "$tmp/run.events.jsonl" -manifest "$tmp/run.manifest.json" \
+    -trace-out "$tmp/run.trace.json" >/dev/null
 "$tmp/tlreport" validate -manifest "$tmp/run.manifest.json" "$tmp/run.events.jsonl"
 "$tmp/tlreport" diff -wall-tol 10 "$tmp/run.manifest.json" "$tmp/run.manifest.json"
+
+echo "== e2e trace gate (tlreport trace on the captured Chrome trace)"
+"$tmp/tlreport" trace "$tmp/run.trace.json" >/dev/null
+# Results must be byte-identical with tracing off: rerun without
+# -trace-out and self-diff the two manifests (wall time excluded).
+"$tmp/thistle" -layer resnet18_L12 -specs=false \
+    -manifest "$tmp/notrace.manifest.json" >/dev/null
+"$tmp/tlreport" diff -wall-tol 1e9 "$tmp/run.manifest.json" "$tmp/notrace.manifest.json"
 
 echo "check: ok"
