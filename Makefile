@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check bench bench-json trace
+.PHONY: all build vet lint test race check bench bench-json trace serve
 
 all: check
 
@@ -20,10 +20,10 @@ test:
 	$(GO) test -short ./...
 
 # Race-detector run over the concurrent packages: the mapper's worker
-# pool, core's parallel GP solve loop, the solver telemetry hooks, and
-# the obs registry itself.
+# pool, core's parallel GP solve loop, the solver telemetry hooks, the
+# obs registry itself, and the thistled admission path.
 race:
-	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/...
+	$(GO) test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/mapper/... ./internal/solver/... ./internal/serve/...
 
 check: build vet lint test race
 	@echo "check: ok"
@@ -35,6 +35,12 @@ trace:
 	$(GO) run ./cmd/thistle -layer resnet18_L12 -specs=false \
 		-trace-out /tmp/thistle.trace.json >/dev/null
 	$(GO) run ./cmd/tlreport trace /tmp/thistle.trace.json
+
+# Run the thistled optimization service locally with the shared solve
+# cache on. POST /v1/optimize to it; see docs/API.md for the surface
+# and docs/OPERATIONS.md for production sizing.
+serve:
+	$(GO) run ./cmd/thistled -addr localhost:8080 -cache
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ ./...

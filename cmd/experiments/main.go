@@ -4,6 +4,14 @@
 // textual bar charts with -plot). With -out, each experiment is
 // additionally written to <dir>/<id>.tsv.
 //
+// Whole-network sweeps share one bounded scheduler (-parallel) and
+// deduplicate same-shaped layers before solving. The shared runtime
+// flag block (internal/cliutil) adds observability (-v, -trace-out,
+// -metrics, profiles), the solve cache (-cache, -cache-dir — the
+// studies re-solve each other's baselines, so cross-figure hit rates
+// are tabulated in EXPERIMENTS.md), and durable run records (-events,
+// -manifest, -status-addr).
+//
 // Examples:
 //
 //	experiments -exp fig4

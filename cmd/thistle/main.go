@@ -1,16 +1,26 @@
-// Command thistle is the optimizer CLI of the reproduction: given a CNN
-// layer (a Table II layer name, explicit convolution parameters, or a
-// Timeloop-style problem spec), a criterion (energy or delay), and a mode
+// Command thistle is the optimizer CLI of the reproduction: given a
+// workload (a Table II layer name, a whole network via -pipeline,
+// explicit convolution parameters, an einsum, or a Timeloop-style
+// problem spec), a criterion (energy, delay, or edp), and a mode
 // (fixed-architecture dataflow optimization or architecture-dataflow
-// co-design), it runs the Thistle flow and prints the resulting design
-// point together with the Timeloop-style architecture and mapping specs.
+// co-design), it runs the staged Thistle pipeline and prints the
+// resulting design point together with the Timeloop-style spec bundle.
+//
+// Whole-network runs share one bounded scheduler (-parallel) and
+// deduplicate same-shaped layers. The shared runtime flag block
+// (internal/cliutil) adds observability (-v, -trace-out, -metrics,
+// profiles), the content-addressed solve cache (-cache, -cache-dir),
+// and durable run records (-events, -manifest, -status-addr); see the
+// README. The same optimizer is available as a long-running HTTP
+// service via cmd/thistled.
 //
 // Examples:
 //
 //	thistle -layer resnet18_L6
+//	thistle -pipeline resnet18 -cache -cache-dir .thistle-cache
 //	thistle -layer yolo9000_L3 -criterion delay -mode codesign
 //	thistle -K 128 -C 64 -H 56 -RS 3 -stride 2 -mode codesign
-//	thistle -problem prob.yaml -arch arch.yaml
+//	thistle -problem prob.yaml -arch arch.yaml -manifest run.manifest.json
 package main
 
 import (

@@ -3,6 +3,11 @@
 // factorizations and permutations, with per-thread victory condition and
 // trial budget, evaluating candidates with the analytical model.
 //
+// The shared runtime flag block (internal/cliutil) adds observability
+// (-v, -trace-out, -metrics, profiles), result caching (-cache,
+// -cache-dir; the search seed, thread count, and budgets join the
+// cache signature), and durable run records (-events, -manifest).
+//
 // Examples:
 //
 //	tlmapper -layer resnet18_L6

@@ -5,6 +5,11 @@
 // file containing problem, architecture, and mapping sections is also
 // accepted.
 //
+// The shared runtime flag block (internal/cliutil) adds observability
+// (-v, -trace-out, -metrics, profiles), report caching keyed by the
+// raw spec text (-cache, -cache-dir), and durable run records
+// (-events, -manifest).
+//
 // Examples:
 //
 //	tlmodel -bundle design.yaml

@@ -27,6 +27,8 @@ func TestGolden(t *testing.T) {
 		{DroppedErr, "droppederr", "repro/internal/analysis/checks/testdata/droppederr"},
 		{DroppedErr, "ignore", "repro/internal/analysis/checks/testdata/ignore"},
 		{StageDep, "stagedep", "repro/internal/pipeline/testfixture"},
+		{StageDep, "servedep", "repro/internal/serve/testfixture"},
+		{StageDep, "serveimport", "repro/internal/experiments/testfixture"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

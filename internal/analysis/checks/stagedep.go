@@ -7,44 +7,87 @@ import (
 	"repro/internal/analysis"
 )
 
-// StageDep enforces the optimization pipeline's layering: files in
-// repro/internal/pipeline (the staged Enumerate→…→Select engine) may
-// only import downward — the numeric and modeling packages listed in
-// stageDepAllowed — never the core facade, the experiments driver, or
-// a command. An upward import would recreate the cycle the pipeline
-// extraction removed (core wraps pipeline, not the reverse) and let
-// stage code reach around the facade's caching and event emission.
+// StageDep enforces the repository's cross-package layering as a set of
+// path-scoped import rules:
+//
+//   - files in repro/internal/pipeline (the staged Enumerate→…→Select
+//     engine) may only import downward — the numeric and modeling
+//     packages of its allowlist — never the core facade, the
+//     experiments driver, or a command. An upward import would recreate
+//     the cycle the pipeline extraction removed (core wraps pipeline,
+//     not the reverse) and let stage code reach around the facade's
+//     caching and event emission.
+//   - files in repro/internal/serve (the thistled HTTP service) may
+//     import the optimizer stack it fronts (core, experiments,
+//     pipeline, cache, obs, specs, workloads, ...) but not the CLI
+//     runtime: the service layer sits beside the commands, below
+//     cliutil's flag plumbing.
+//   - nothing except the commands (repro/cmd/...) may import
+//     repro/internal/serve: the service is a leaf of the internal
+//     graph, so no library layer can grow a dependency on HTTP types.
 var StageDep = &analysis.Analyzer{
 	Name: "stagedep",
-	Doc:  "pipeline stages may only import downward (arch/cache/dataflow/expr/floats/gp/linalg/loopnest/model/obs/solver)",
+	Doc:  "cross-package layering: pipeline and serve import only downward, and only commands import serve",
 	Run:  runStageDep,
 }
 
-const stageDepPkg = "repro/internal/pipeline"
-
-// stageDepAllowed is the set of module-internal packages the pipeline
-// may depend on, each allowed together with its subpackages.
-var stageDepAllowed = []string{
-	"repro/internal/arch",
-	"repro/internal/cache",
-	"repro/internal/dataflow",
-	"repro/internal/expr",
-	"repro/internal/floats",
-	"repro/internal/gp",
-	"repro/internal/linalg",
-	"repro/internal/loopnest",
-	"repro/internal/model",
-	"repro/internal/obs",
-	"repro/internal/solver",
+// stageDepRule scopes an import allowlist to one package subtree: files
+// whose package path is under Scope may import module-internal packages
+// only from Allowed (each with its subpackages) and their own subtree.
+type stageDepRule struct {
+	Scope   string   // package path the rule applies to (and below)
+	Name    string   // how findings name the scoped package
+	Allowed []string // permitted module-internal import prefixes
 }
 
-func stageDepInScope(path string) bool {
-	return path == stageDepPkg || strings.HasPrefix(path, stageDepPkg+"/")
+var stageDepRules = []stageDepRule{
+	{
+		Scope: "repro/internal/pipeline",
+		Name:  "pipeline",
+		Allowed: []string{
+			"repro/internal/arch",
+			"repro/internal/cache",
+			"repro/internal/dataflow",
+			"repro/internal/expr",
+			"repro/internal/floats",
+			"repro/internal/gp",
+			"repro/internal/linalg",
+			"repro/internal/loopnest",
+			"repro/internal/model",
+			"repro/internal/obs",
+			"repro/internal/solver",
+		},
+	},
+	{
+		Scope: "repro/internal/serve",
+		Name:  "serve",
+		Allowed: []string{
+			"repro/internal/arch",
+			"repro/internal/cache",
+			"repro/internal/core",
+			"repro/internal/experiments",
+			"repro/internal/loopnest",
+			"repro/internal/model",
+			"repro/internal/obs",
+			"repro/internal/pipeline",
+			"repro/internal/specs",
+			"repro/internal/workloads",
+			"repro/internal/yamlite",
+		},
+	},
 }
 
-func stageDepOK(path string) bool {
-	for _, p := range stageDepAllowed {
-		if path == p || strings.HasPrefix(path, p+"/") {
+// stageDepServePkg is the service package no library layer may import;
+// only commands (repro/cmd/...) may depend on it.
+const stageDepServePkg = "repro/internal/serve"
+
+func underPath(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+func stageDepAllowed(rule stageDepRule, path string) bool {
+	for _, p := range rule.Allowed {
+		if underPath(path, p) {
 			return true
 		}
 	}
@@ -52,26 +95,44 @@ func stageDepOK(path string) bool {
 }
 
 func runStageDep(pass *analysis.Pass) {
-	if !stageDepInScope(pass.Path()) {
-		return
+	var rule *stageDepRule
+	for i := range stageDepRules {
+		if underPath(pass.Path(), stageDepRules[i].Scope) {
+			rule = &stageDepRules[i]
+			break
+		}
 	}
+	// Outside every scoped subtree the only constraint is the serve
+	// leaf rule; commands are exempt from it.
+	serveImportOK := (rule != nil && rule.Scope == stageDepServePkg) ||
+		strings.HasPrefix(pass.Path(), "repro/cmd/")
+
 	for _, file := range pass.Files() {
 		for _, imp := range file.Imports {
 			path, err := strconv.Unquote(imp.Path.Value)
 			if err != nil {
 				continue
 			}
-			// The standard library and the pipeline's own subpackages
-			// are always fine; only module-internal imports are layered.
-			if !strings.HasPrefix(path, "repro/") || stageDepInScope(path) {
+			// The standard library is always fine; only module-internal
+			// imports are layered.
+			if !strings.HasPrefix(path, "repro/") {
 				continue
 			}
-			if stageDepOK(path) {
+			if underPath(path, stageDepServePkg) && !serveImportOK {
+				pass.Reportf(imp.Path.Pos(),
+					"%s imports %s; the serve layer is a leaf of the internal graph — only commands (repro/cmd/...) may import it",
+					pass.Path(), path)
+				continue
+			}
+			if rule == nil || underPath(path, rule.Scope) {
+				continue
+			}
+			if stageDepAllowed(*rule, path) {
 				continue
 			}
 			pass.Reportf(imp.Path.Pos(),
-				"pipeline imports %s, which is above it in the layering; stages may only import downward (%s)",
-				path, strings.Join(shortNames(stageDepAllowed), "/"))
+				"%s imports %s, which is above it in the layering; %s may only import downward (%s)",
+				rule.Name, path, rule.Name, strings.Join(shortNames(rule.Allowed), "/"))
 		}
 	}
 }

@@ -1,0 +1,16 @@
+// Package serveimport is a tlvet golden-file fixture; the golden test
+// loads it under a fake import path inside repro/internal/experiments,
+// a library layer. The serve package is a leaf of the internal graph:
+// only commands may import it, so a library dependency on it is an
+// error regardless of direction.
+package serveimport
+
+import (
+	"repro/internal/model"
+	"repro/internal/serve" // want `only commands \(repro/cmd/\.\.\.\) may import it`
+)
+
+var (
+	_ = model.MinEnergy
+	_ = serve.New
+)

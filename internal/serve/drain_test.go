@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestGracefulDrain exercises the SIGTERM path as cmd/thistled drives
+// it: Drain stops admissions (healthz flips to 503, new optimize
+// requests are rejected with "draining") but waits for the in-flight
+// request, which still completes with 200.
+func TestGracefulDrain(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 2})
+	st := installStub(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	inflight := make(chan int, 1)
+	go func() {
+		resp, _ := postOptimize(t, ts, tinyConv)
+		inflight <- resp.StatusCode
+	}()
+	<-st.started // the request is executing
+
+	drained := make(chan error, 1)
+	go func() { drained <- srv.Drain(context.Background()) }()
+	waitFor(t, srv.Draining)
+
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || strings.TrimSpace(string(body)) != "draining" {
+		t.Errorf("healthz while draining = %d %q, want 503 draining", resp.StatusCode, body)
+	}
+
+	resp, data := postOptimize(t, ts, tinyConv)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("optimize while draining = %d, want 503; body: %s", resp.StatusCode, data)
+	}
+	if code := errorCode(t, data); code != "draining" {
+		t.Errorf("error code = %q, want draining", code)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("draining rejection missing Retry-After")
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned (%v) with a request still in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(st.release)
+	if status := <-inflight; status != http.StatusOK {
+		t.Errorf("in-flight request finished with %d, want 200", status)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight request finished")
+	}
+}
+
+func TestDrainTimeout(t *testing.T) {
+	srv := New(Config{MaxConcurrent: 1})
+	st := installStub(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		postOptimize(t, ts, tinyConv)
+	}()
+	<-st.started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := srv.Drain(ctx); err == nil {
+		t.Error("Drain returned nil despite a stuck in-flight request")
+	}
+	close(st.release)
+	<-done
+}
+
+func TestDrainIdleReturnsImmediately(t *testing.T) {
+	srv := New(Config{})
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain on idle server: %v", err)
+	}
+	if !srv.Draining() {
+		t.Error("Draining() false after Drain")
+	}
+}
+
+// waitFor polls cond until true or the test deadline approaches.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached")
+}

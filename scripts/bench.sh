@@ -1,8 +1,9 @@
 #!/bin/sh
 # bench.sh runs the tier-1 performance benchmarks (cold/warm single-layer
 # optimize, the whole-network warm-cache sweep, the sequential vs
-# scheduled whole-network comparison, and the tracing-off vs tracing-on
-# overhead pair) with -benchmem and
+# scheduled whole-network comparison, the tracing-off vs tracing-on
+# overhead pair, and the thistled warm-request service overhead) with
+# -benchmem and
 # records the result as a JSON trajectory point BENCH_<date>.json at the
 # repo root, via scripts/benchjson. Successive points form the repo's
 # performance history; diff them the same way tlreport diffs manifests.
@@ -15,7 +16,7 @@ set -eu
 cd "$(dirname "$0")/.."
 
 out="BENCH_$(date -u +%Y%m%d).json"
-pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache|BenchmarkNetworkScheduler|BenchmarkOptimizeTracing'
+pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache|BenchmarkNetworkScheduler|BenchmarkOptimizeTracing|BenchmarkServeWarm'
 
 echo "== go test -bench ($pattern)"
 go test -run '^$' -bench "$pattern" -benchmem "$@" . \

@@ -6,11 +6,15 @@
 # short test suite, a race-detector pass over the concurrent packages
 # (mapper worker pool, the pipeline scheduler and its staged GP flow,
 # the experiments layer fan-out, solver hooks, obs, cache
-# singleflight), and an end-to-end run-report gate: a small workload is
-# optimized with -events/-manifest/-trace-out, the JSONL stream is
-# validated against the schema, a tlreport self-diff must come back
-# regression-free, and the Chrome trace file must parse and report a
-# critical path (`tlreport trace`). Equivalent to `make check`.
+# singleflight, the thistled admission path), and an end-to-end
+# run-report gate: a small workload is optimized with
+# -events/-manifest/-trace-out, the JSONL stream is validated against
+# the schema, a tlreport self-diff must come back regression-free, and
+# the Chrome trace file must parse and report a critical path
+# (`tlreport trace`). A final serve gate boots thistled on a random
+# port (scripts/servecheck), POSTs the same layer, and diffs the
+# server-side manifest against the CLI's — the two must agree exactly —
+# before asserting a clean SIGTERM drain. Equivalent to `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,7 +40,7 @@ echo "== go test -short ./..."
 go test -short ./...
 
 echo "== go test -race (concurrent packages)"
-go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/pipeline/... ./internal/mapper/... ./internal/solver/... ./internal/cache/...
+go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/pipeline/... ./internal/mapper/... ./internal/solver/... ./internal/cache/... ./internal/serve/...
 # The experiments figure sweeps are too slow under the race detector;
 # race-check just the concurrent layer fan-out.
 go test -race -timeout 30m -run 'TestOptimizeLayers' ./internal/experiments/
@@ -59,5 +63,14 @@ echo "== e2e trace gate (tlreport trace on the captured Chrome trace)"
 "$tmp/thistle" -layer resnet18_L12 -specs=false \
     -manifest "$tmp/notrace.manifest.json" >/dev/null
 "$tmp/tlreport" diff -wall-tol 1e9 "$tmp/run.manifest.json" "$tmp/notrace.manifest.json"
+
+echo "== e2e serve gate (thistled vs thistle CLI, graceful drain)"
+go build -o "$tmp/thistled" ./cmd/thistled
+go run ./scripts/servecheck "$tmp/thistled" "$tmp"
+# The server and the CLI optimized the same layer through the same
+# pipeline; their per-layer results must agree exactly (wall time is
+# the only legitimate difference).
+"$tmp/tlreport" diff -edp-tol 1e-12 -energy-tol 1e-12 -delay-tol 1e-12 -wall-tol 1e9 \
+    "$tmp/notrace.manifest.json" "$tmp/server.manifest.json"
 
 echo "check: ok"

@@ -1,0 +1,178 @@
+// Command servecheck is the check.sh e2e harness for thistled: it
+// starts the daemon on a random port, POSTs a small optimize request,
+// saves the returned manifest (so the caller can tlreport-diff it
+// against a CLI run of the same layer), asserts that a repeated request
+// is served from the shared cache, probes the health surface, and
+// finally SIGTERMs the daemon expecting a clean graceful-drain exit.
+//
+//	servecheck <thistled-binary> <outdir>
+//
+// On success the returned manifest is written to
+// <outdir>/server.manifest.json and the process exits 0; any protocol,
+// determinism, or shutdown violation exits 1 with a diagnostic.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: servecheck <thistled-binary> <outdir>")
+		os.Exit(2)
+	}
+	if err := run(os.Args[1], os.Args[2]); err != nil {
+		fmt.Fprintln(os.Stderr, "servecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(binary, outdir string) error {
+	cmd := exec.Command(binary, "-addr", "127.0.0.1:0", "-cache", "-v", "warn",
+		"-spool-dir", filepath.Join(outdir, "spool"))
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// On any failure path, make sure the daemon does not outlive us.
+	defer func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_, _ = cmd.Process.Wait()
+		}
+	}()
+
+	// The daemon announces its resolved address on stderr before it
+	// starts serving; everything after that line is passed through.
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if addr, ok := strings.CutPrefix(line, "thistled: serving on "); ok {
+			base = strings.TrimSpace(addr)
+			break
+		}
+		fmt.Fprintln(os.Stderr, line)
+	}
+	if base == "" {
+		return fmt.Errorf("daemon exited without announcing its address (scan error: %v)", sc.Err())
+	}
+	go func() { // keep draining stderr so the daemon never blocks on it
+		for sc.Scan() {
+		}
+	}()
+
+	post := func(body string) (*http.Response, []byte, error) {
+		resp, err := http.Post(base+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		data, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		return resp, data, err
+	}
+
+	const reqBody = `{"layer": "resnet18_L12"}`
+	resp, data, err := post(reqBody)
+	if err != nil {
+		return fmt.Errorf("POST /v1/optimize: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("optimize status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		RunID    string            `json:"run_id"`
+		Results  []json.RawMessage `json:"results"`
+		Manifest json.RawMessage   `json:"manifest"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return fmt.Errorf("decoding optimize response: %w", err)
+	}
+	if out.RunID == "" || len(out.Results) != 1 || len(out.Manifest) == 0 {
+		return fmt.Errorf("incomplete optimize response: %s", data)
+	}
+	manPath := filepath.Join(outdir, "server.manifest.json")
+	if err := os.WriteFile(manPath, append(out.Manifest, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	// A repeated request must be a cache hit: fresh_solves drops to 0.
+	resp, data, err = post(reqBody)
+	if err != nil {
+		return fmt.Errorf("second POST /v1/optimize: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("second optimize status %d: %s", resp.StatusCode, data)
+	}
+	var second struct {
+		Results []struct {
+			FromCache bool `json:"from_cache"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(data, &second); err != nil {
+		return fmt.Errorf("decoding second response: %w", err)
+	}
+	if len(second.Results) != 1 || !second.Results[0].FromCache {
+		return fmt.Errorf("repeated request not served from the shared cache: %s", data)
+	}
+
+	// Health surface: healthz says ok, metrics exposes the serve.* family.
+	if err := expectGet(base+"/v1/healthz", "ok"); err != nil {
+		return err
+	}
+	if err := expectGet(base+"/metrics", "thistle_serve_requests_total"); err != nil {
+		return err
+	}
+	if err := expectGet(base+"/statusz", "thistled serving"); err != nil {
+		return err
+	}
+
+	// Graceful drain: SIGTERM must produce a clean exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon did not exit cleanly on SIGTERM: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("daemon did not exit within 30s of SIGTERM")
+	}
+	fmt.Println("servecheck: ok (manifest at", manPath+")")
+	return nil
+}
+
+func expectGet(url, needle string) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if !strings.Contains(string(data), needle) {
+		return fmt.Errorf("GET %s: response missing %q:\n%s", url, needle, data)
+	}
+	return nil
+}

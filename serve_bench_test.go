@@ -1,0 +1,56 @@
+// Benchmarks for the thistled service layer: what one request costs
+// once the solve itself is out of the picture (served from the shared
+// cache), i.e. the HTTP + admission + run-record overhead the daemon
+// adds on top of the optimizer. Compare against
+// BenchmarkOptimizeWarmCache (the bare warm solve) in bench_test.go.
+package repro
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+)
+
+// BenchmarkServeWarm measures a full request → cached solve → response
+// round trip over real HTTP: JSON decode, admission control, the
+// per-request run record (recorder, manifest marshal), and the response
+// encode, with the solve served from the shared cache. The gap between
+// this and BenchmarkOptimizeWarmCache is the service overhead.
+func BenchmarkServeWarm(b *testing.B) {
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const body = `{"layer": "resnet18_L6"}`
+	post := func() []byte {
+		resp, err := http.Post(ts.URL+"/v1/optimize", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		_ = resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		return data
+	}
+	post() // prime the shared cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data := post()
+		if !strings.Contains(string(data), `"from_cache": true`) {
+			b.Fatal("warm request missed the cache")
+		}
+	}
+	st := srv.Cache().Stats()
+	if st.Misses != 1 {
+		b.Fatalf("expected exactly one cold solve, got %d", st.Misses)
+	}
+}
