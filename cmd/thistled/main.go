@@ -26,8 +26,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -60,6 +62,15 @@ func run() error {
 	cacheDir := flag.String("cache-dir", "", "persist cache entries as JSON records in this directory (implies -cache)")
 	cacheSize := flag.Int("cache-size", 0, "max in-memory cache entries (default 1024)")
 	verbosity := flag.String("v", "info", "log verbosity: off|warn|info|debug|trace")
+	varzInterval := flag.Duration("varz-interval", 5*time.Second, "/varz time-series sampling interval (negative: sample only on /varz reads)")
+	varzWindow := flag.Duration("varz-window", 30*time.Minute, "/varz time-series retention window")
+	sloAvail := flag.Float64("slo-availability", 0.99, "availability objective: fraction of admitted requests that must succeed (negative: disable SLO tracking)")
+	sloLatObj := flag.Float64("slo-latency-objective", 0.95, "latency objective: fraction of admitted requests that must finish under -slo-latency-target")
+	sloLatTarget := flag.Duration("slo-latency-target", 0, "latency target for the latency SLO (0: the -deadline value)")
+	accessLog := flag.String("access-log", "", "write JSON access logs to this file ('-': stderr; default off)")
+	accessSample := flag.Int("access-log-sample", 1, "keep 1 in N fast successful requests in the access log (non-200 and slow requests always log)")
+	accessSlow := flag.Duration("access-log-slow", time.Second, "wall time beyond which a request always logs")
+	pprofOn := flag.Bool("pprof", false, "expose /debug/pprof/ profiling handlers")
 	version := flag.Bool("version", false, "print the tool name and build git revision, then exit")
 	flag.Parse()
 
@@ -83,6 +94,19 @@ func run() error {
 	if *cacheOn || *cacheDir != "" {
 		sc = core.NewSolveCache(cache.Options{Capacity: *cacheSize, Dir: *cacheDir, Obs: o})
 	}
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		accessW = f
+	}
 	srv := serve.New(serve.Config{
 		Parallel:        *parallel,
 		MaxConcurrent:   *maxConc,
@@ -92,7 +116,23 @@ func run() error {
 		SpoolDir:        *spoolDir,
 		Cache:           sc,
 		Obs:             o,
+		SLO: serve.SLOConfig{
+			Availability:     *sloAvail,
+			LatencyObjective: *sloLatObj,
+			LatencyTarget:    *sloLatTarget,
+		},
+		SampleInterval:  *varzInterval,
+		SampleWindow:    *varzWindow,
+		AccessLog:       accessW,
+		AccessLogSample: *accessSample,
+		AccessLogSlow:   *accessSlow,
 	})
+	defer srv.Close()
+
+	handler := srv.Handler()
+	if *pprofOn {
+		handler = withPprof(handler)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -102,7 +142,7 @@ func run() error {
 	// wrappers (scripts/servecheck, port-0 test harnesses) can parse it.
 	fmt.Fprintf(os.Stderr, "thistled: serving on http://%s\n", ln.Addr())
 
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 
@@ -129,4 +169,19 @@ func run() error {
 	}
 	fmt.Fprintln(os.Stderr, "thistled: drained, exiting")
 	return nil
+}
+
+// withPprof mounts the net/http/pprof handlers under /debug/pprof/ in
+// front of the service handler. Registration is explicit (not the
+// package's init-time DefaultServeMux side effect) so profiling is
+// genuinely opt-in: without -pprof the paths 404 like any other.
+func withPprof(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/", next)
+	return mux
 }

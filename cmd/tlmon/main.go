@@ -1,0 +1,251 @@
+// Command tlmon is a terminal dashboard for a running thistled: it
+// polls the daemon's /varz time-series endpoint and renders live QPS,
+// latency quantiles, queue depth, cache hit rate, and SLO burn state as
+// a compact text frame with unicode sparklines. It is a pure HTTP
+// client — no server internals are linked in — so it can watch a
+// daemon on another host.
+//
+//	tlmon -addr localhost:8080              # live, refreshed every 2s
+//	tlmon -addr localhost:8080 -once        # one frame to stdout, then exit
+//
+// -once is the scripting mode: scripts/servecheck uses it as a
+// deployment probe (exit 0 means the daemon answered with a valid
+// thistle-timeseries-v1 snapshot).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/obs/timeseries"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tlmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out io.Writer, args []string) error {
+	fs := flag.NewFlagSet("tlmon", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "thistled address (host:port or full http URL)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh cadence in live mode")
+	once := fs.Bool("once", false, "print one frame and exit (for scripts)")
+	width := fs.Int("width", 30, "sparkline width in characters")
+	version := fs.Bool("version", false, "print the tool name and build git revision, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *version {
+		fmt.Fprintln(out, cliutil.VersionString("tlmon"))
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimSuffix(base, "/")
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	if *once {
+		v, err := fetchVarz(client, base)
+		if err != nil {
+			return err
+		}
+		renderFrame(out, base, v, *width)
+		return nil
+	}
+
+	// Live mode: redraw on a ticker until interrupted. The clear-screen
+	// escape keeps the frame anchored without taking over the terminal
+	// (no raw mode, no alternate screen — scrollback survives).
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	t := time.NewTicker(*interval)
+	defer t.Stop()
+	for {
+		v, err := fetchVarz(client, base)
+		fmt.Fprint(out, "\x1b[H\x1b[2J")
+		if err != nil {
+			fmt.Fprintf(out, "tlmon: %v (retrying every %s)\n", err, *interval)
+		} else {
+			renderFrame(out, base, v, *width)
+		}
+		select {
+		case <-sig:
+			fmt.Fprintln(out)
+			return nil
+		case <-t.C:
+		}
+	}
+}
+
+// sloStatus mirrors the serve.SLOStatus JSON embedded in /varz. tlmon
+// decodes it locally instead of importing the server package: the
+// dashboard is a network client, and the wire format — not the Go
+// type — is the contract.
+type sloStatus struct {
+	SLO             string  `json:"slo"`
+	Objective       float64 `json:"objective"`
+	TargetMS        int64   `json:"target_ms"`
+	Burn5m          float64 `json:"burn_5m"`
+	Burn1h          float64 `json:"burn_1h"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	State           string  `json:"state"`
+	Good            int64   `json:"good"`
+	Bad             int64   `json:"bad"`
+}
+
+// varzPayload is the /varz body: a timeseries snapshot plus the SLO block.
+type varzPayload struct {
+	timeseries.Snapshot
+	SLO []sloStatus `json:"slo"`
+}
+
+func fetchVarz(client *http.Client, base string) (*varzPayload, error) {
+	resp, err := client.Get(base + "/varz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/varz: %s", base, resp.Status)
+	}
+	var v varzPayload
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("decode /varz: %w", err)
+	}
+	if v.Schema != timeseries.SchemaVersion {
+		return nil, fmt.Errorf("unexpected /varz schema %q (want %q)", v.Schema, timeseries.SchemaVersion)
+	}
+	return &v, nil
+}
+
+func (v *varzPayload) series(name string) *timeseries.Series {
+	for i := range v.Series {
+		if v.Series[i].Name == name {
+			return &v.Series[i]
+		}
+	}
+	return nil
+}
+
+// rates extracts a counter series' per-second rates, oldest first.
+func (v *varzPayload) rates(name string) []float64 {
+	s := v.series(name)
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.Rate
+	}
+	return out
+}
+
+// values extracts a series' sampled values, oldest first.
+func (v *varzPayload) values(name string) []float64 {
+	s := v.series(name)
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, len(s.Samples))
+	for i, sm := range s.Samples {
+		out[i] = sm.V
+	}
+	return out
+}
+
+func lastOf(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return vals[len(vals)-1]
+}
+
+func maxOf(vals []float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// renderFrame writes one dashboard frame. Every line is plain text —
+// the only terminal feature used is the block-character sparkline — so
+// -once output pastes cleanly into logs and chat.
+func renderFrame(w io.Writer, base string, v *varzPayload, width int) {
+	sampled := time.UnixMilli(v.NowUnixMS).Format("15:04:05")
+	fmt.Fprintf(w, "tlmon — thistled @ %s  (sampled %s, interval %s, %d rounds)\n\n",
+		base, sampled, time.Duration(v.IntervalMS)*time.Millisecond, v.Rounds)
+
+	qps := v.rates("serve.requests")
+	fmt.Fprintf(w, "qps      %8.1f  %s  peak %.1f\n",
+		lastOf(qps), timeseries.Spark(timeseries.Tail(qps, width)), maxOf(qps))
+
+	p50 := v.values("serve.request.latency.p50_ms")
+	p95 := v.values("serve.request.latency.p95_ms")
+	p99 := v.values("serve.request.latency.p99_ms")
+	fmt.Fprintf(w, "latency  p50 %s  p95 %s  p99 %s  %s\n",
+		fmtMS(lastOf(p50)), fmtMS(lastOf(p95)), fmtMS(lastOf(p99)),
+		timeseries.Spark(timeseries.Tail(p95, width)))
+
+	queue := v.values("serve.queue_depth")
+	flight := v.values("serve.in_flight")
+	fmt.Fprintf(w, "queue    %8.0f  %s  in-flight %.0f\n",
+		lastOf(queue), timeseries.Spark(timeseries.Tail(queue, width)), lastOf(flight))
+
+	hits, misses := v.rates("cache.hit"), v.rates("cache.miss")
+	if hits == nil && misses == nil {
+		fmt.Fprintf(w, "cache         off\n")
+	} else {
+		h, m := lastOf(hits), lastOf(misses)
+		pct := 0.0
+		if h+m > 0 {
+			pct = 100 * h / (h + m)
+		}
+		fmt.Fprintf(w, "cache    %7.1f%%  hit %.1f/s  miss %.1f/s\n", pct, h, m)
+	}
+
+	fmt.Fprintln(w)
+	if len(v.SLO) == 0 {
+		fmt.Fprintln(w, "slo      off")
+		return
+	}
+	for _, st := range v.SLO {
+		target := ""
+		if st.TargetMS > 0 {
+			target = fmt.Sprintf("  target %s", time.Duration(st.TargetMS)*time.Millisecond)
+		}
+		fmt.Fprintf(w, "slo %-13s %-6s  burn 5m %.2f / 1h %.2f  budget %3.0f%%%s\n",
+			st.SLO, strings.ToUpper(st.State), st.Burn5m, st.Burn1h, 100*st.BudgetRemaining, target)
+	}
+}
+
+// fmtMS renders a millisecond value at a precision matched to its size.
+func fmtMS(ms float64) string {
+	switch {
+	case ms >= 1000:
+		return fmt.Sprintf("%.1fs", ms/1000)
+	case ms >= 10:
+		return fmt.Sprintf("%.0fms", ms)
+	default:
+		return fmt.Sprintf("%.1fms", ms)
+	}
+}

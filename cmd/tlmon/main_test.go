@@ -1,0 +1,140 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeVarz is a minimal but schema-correct /varz body: three sampling
+// rounds of a server doing ~12 qps with a cache and both SLOs green.
+const fakeVarz = `{
+  "schema": "thistle-timeseries-v1",
+  "now_unix_ms": 1700000015000,
+  "interval_ms": 5000,
+  "capacity": 360,
+  "rounds": 3,
+  "series": [
+    {"name": "cache.hit", "kind": "counter", "samples": [
+      {"t": 1700000005000, "v": 40}, {"t": 1700000010000, "v": 90, "rate": 10},
+      {"t": 1700000015000, "v": 140, "rate": 10}]},
+    {"name": "cache.miss", "kind": "counter", "samples": [
+      {"t": 1700000005000, "v": 10}, {"t": 1700000010000, "v": 20, "rate": 2},
+      {"t": 1700000015000, "v": 30, "rate": 2}]},
+    {"name": "serve.in_flight", "kind": "gauge", "samples": [
+      {"t": 1700000005000, "v": 1}, {"t": 1700000010000, "v": 2},
+      {"t": 1700000015000, "v": 2}]},
+    {"name": "serve.queue_depth", "kind": "gauge", "samples": [
+      {"t": 1700000005000, "v": 0}, {"t": 1700000010000, "v": 3},
+      {"t": 1700000015000, "v": 1}]},
+    {"name": "serve.request.latency.p50_ms", "kind": "window", "samples": [
+      {"t": 1700000005000, "v": 3.1}, {"t": 1700000010000, "v": 3.4},
+      {"t": 1700000015000, "v": 3.2}]},
+    {"name": "serve.request.latency.p95_ms", "kind": "window", "samples": [
+      {"t": 1700000005000, "v": 9.7}, {"t": 1700000010000, "v": 14.2},
+      {"t": 1700000015000, "v": 11.8}]},
+    {"name": "serve.request.latency.p99_ms", "kind": "window", "samples": [
+      {"t": 1700000005000, "v": 20}, {"t": 1700000010000, "v": 1500},
+      {"t": 1700000015000, "v": 25}]},
+    {"name": "serve.requests", "kind": "counter", "samples": [
+      {"t": 1700000005000, "v": 50}, {"t": 1700000010000, "v": 140, "rate": 18},
+      {"t": 1700000015000, "v": 202, "rate": 12.4}]}
+  ],
+  "slo": [
+    {"slo": "availability", "objective": 0.99, "burn_5m": 0.2, "burn_1h": 0.1,
+     "budget_remaining": 0.9, "state": "green", "good": 200, "bad": 2},
+    {"slo": "latency", "objective": 0.95, "target_ms": 120000, "burn_5m": 16,
+     "burn_1h": 0.5, "budget_remaining": 0.5, "state": "yellow", "good": 190, "bad": 12}
+  ]
+}`
+
+func fakeServer(t *testing.T, body string, status int) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/varz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(status)
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestOnceRendersDashboard(t *testing.T) {
+	srv := fakeServer(t, fakeVarz, http.StatusOK)
+	var out strings.Builder
+	if err := run(&out, []string{"-addr", srv.URL, "-once"}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"qps          12.4",
+		"peak 18.0",
+		"p50 3.2ms",
+		"p95 12ms",
+		"p99 25ms",
+		"in-flight 2",
+		"cache       83.3%", // 10 hit/s vs 2 miss/s
+		"slo availability  GREEN",
+		"slo latency       YELLOW",
+		"burn 5m 16.00 / 1h 0.50",
+		"budget  50%",
+		"target 2m0s",
+		"3 rounds",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("frame missing %q:\n%s", want, got)
+		}
+	}
+	// The qps sparkline must use the block ramp.
+	if !strings.ContainsAny(got, "▁▂▃▄▅▆▇█") {
+		t.Errorf("frame has no sparkline:\n%s", got)
+	}
+}
+
+func TestOnceRejectsWrongSchema(t *testing.T) {
+	srv := fakeServer(t, `{"schema": "thistle-timeseries-v999"}`, http.StatusOK)
+	var out strings.Builder
+	err := run(&out, []string{"-addr", srv.URL, "-once"})
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("err = %v, want schema mismatch", err)
+	}
+}
+
+func TestOnceReportsHTTPError(t *testing.T) {
+	srv := fakeServer(t, "boom", http.StatusServiceUnavailable)
+	var out strings.Builder
+	err := run(&out, []string{"-addr", srv.URL, "-once"})
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("err = %v, want 503", err)
+	}
+}
+
+func TestAddrPrefixing(t *testing.T) {
+	srv := fakeServer(t, fakeVarz, http.StatusOK)
+	// Strip the scheme: tlmon should add http:// itself.
+	hostport := strings.TrimPrefix(srv.URL, "http://")
+	var out strings.Builder
+	if err := run(&out, []string{"-addr", hostport, "-once"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "qps") {
+		t.Fatalf("no frame rendered:\n%s", out.String())
+	}
+}
+
+func TestRenderFrameHandlesEmptySnapshot(t *testing.T) {
+	// A freshly started daemon with no cache and SLOs disabled must not
+	// panic or divide by zero.
+	v := &varzPayload{}
+	v.Schema = "thistle-timeseries-v1"
+	var out strings.Builder
+	renderFrame(&out, "http://x", v, 30)
+	got := out.String()
+	if !strings.Contains(got, "cache         off") || !strings.Contains(got, "slo      off") {
+		t.Fatalf("empty frame = %q", got)
+	}
+}

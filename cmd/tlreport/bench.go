@@ -1,0 +1,90 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/benchfmt"
+)
+
+// runBench compares two or more BENCH_<date>.json trajectory points
+// (oldest first) pairwise in sequence, printing per-benchmark deltas
+// for each step and exiting 2 when the overall first→last movement
+// regresses beyond tolerance. It is how the repo's benchmark trajectory
+// is audited: `tlreport bench BENCH_20260805.json BENCH_20260808.json`.
+func runBench(args []string) int {
+	fs := flag.NewFlagSet("tlreport bench", flag.ExitOnError)
+	var opts benchfmt.CompareOptions
+	fs.Float64Var(&opts.NSTol, "ns-tol", 0, "tolerated fractional ns/op growth (default 0.25; negative disables)")
+	fs.Float64Var(&opts.AllocTol, "allocs-tol", 0, "tolerated fractional allocs/op growth (default 0.05; negative disables)")
+	fs.Float64Var(&opts.BytesTol, "bytes-tol", 0, "tolerated fractional B/op growth (default 0.10; negative disables)")
+	_ = fs.Parse(args) // ExitOnError: Parse terminates the process on bad flags
+	if fs.NArg() < 2 {
+		fmt.Fprintln(os.Stderr, "tlreport bench: at least two trajectory files required (oldest first)")
+		return 1
+	}
+	points := make([]*benchfmt.Point, fs.NArg())
+	for i, path := range fs.Args() {
+		p, err := benchfmt.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tlreport bench:", err)
+			return 1
+		}
+		points[i] = p
+	}
+
+	// Each consecutive pair prints for context; only the first→last
+	// movement gates the exit code, so a regression recovered mid-
+	// trajectory does not fail the audit.
+	for i := 1; i < len(points); i++ {
+		old, new := points[i-1], points[i]
+		fmt.Printf("bench %s -> %s (go %s -> %s)\n", old.Date, new.Date, old.GoVersion, new.GoVersion)
+		if err := writeDeltas(os.Stdout, benchfmt.Compare(old, new, opts)); err != nil {
+			fmt.Fprintln(os.Stderr, "tlreport bench:", err)
+			return 1
+		}
+	}
+	gate := benchfmt.Compare(points[0], points[len(points)-1], opts)
+	if len(points) > 2 {
+		fmt.Printf("overall %s -> %s\n", points[0].Date, points[len(points)-1].Date)
+		if err := writeDeltas(os.Stdout, gate); err != nil {
+			fmt.Fprintln(os.Stderr, "tlreport bench:", err)
+			return 1
+		}
+	}
+	if benchfmt.HasRegressions(gate) {
+		fmt.Println("REGRESSED")
+		return 2
+	}
+	fmt.Println("ok")
+	return 0
+}
+
+func writeDeltas(w *os.File, deltas []benchfmt.Delta) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\tdim\told\tnew\tdelta\t")
+	for _, d := range deltas {
+		if d.OnlyIn != "" {
+			fmt.Fprintf(tw, "%s\t—\t\t\tonly in %s\t\n", d.Name, d.OnlyIn)
+			continue
+		}
+		mark := ""
+		if d.Regressed {
+			mark = "REGRESSED"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%+.1f%%\t%s\n",
+			d.Name, d.Dim, formatVal(d.Old, d.Dim), formatVal(d.New, d.Dim), d.Frac*100, mark)
+	}
+	return tw.Flush()
+}
+
+// formatVal renders a dimension value compactly: integral counts plain,
+// large ns/op values without noise digits.
+func formatVal(v float64, dim string) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}

@@ -1,0 +1,228 @@
+// Package benchfmt defines the thistle-bench-v1 benchmark trajectory
+// format: the schema scripts/benchjson writes as BENCH_<date>.json at
+// the repo root and `tlreport bench` compares across dates. Keeping the
+// types and comparison logic here means the producer (bench.sh) and
+// the consumer (the regression report) cannot drift apart.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema tags trajectory points; Load rejects other schemas.
+const Schema = "thistle-bench-v1"
+
+// Benchmark is one parsed `go test -bench` result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Procs      int                `json:"procs,omitempty"`
+	Iterations int64              `json:"iterations"`
+	NSPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"b_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Point is one whole trajectory point (one BENCH_<date>.json file).
+type Point struct {
+	Schema     string      `json:"schema"`
+	Date       string      `json:"date"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// ParseLine decodes one `go test -bench` result line: the name (with a
+// -N GOMAXPROCS suffix), the iteration count, then (value, unit) pairs.
+func ParseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	var b Benchmark
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
+			b.Procs = procs
+			name = name[:i]
+		}
+	}
+	b.Name = name
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	b.Metrics = map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NSPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsOp = v
+		default:
+			b.Metrics[unit] = v
+		}
+	}
+	if len(b.Metrics) == 0 {
+		b.Metrics = nil
+	}
+	return b, true
+}
+
+// ParseOutput reads `go test -bench` text and collects every benchmark
+// line. When echo is non-nil every input line is copied there (so
+// bench.sh stays readable when piped).
+func ParseOutput(r io.Reader, echo io.Writer) ([]Benchmark, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Benchmark
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if b, ok := ParseLine(line); ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// Load reads and schema-checks one trajectory point.
+func Load(path string) (*Point, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Point
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if p.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, p.Schema, Schema)
+	}
+	return &p, nil
+}
+
+// CompareOptions sets regression tolerances as allowed fractional
+// growth per dimension. Zero values select the defaults; a negative
+// value disables that dimension's check.
+type CompareOptions struct {
+	// NSTol is the tolerated ns/op growth (default 0.25 — wall time is
+	// the noisiest dimension, especially across machines).
+	NSTol float64
+	// AllocTol is the tolerated allocs/op growth (default 0.05 —
+	// allocation counts are near-deterministic).
+	AllocTol float64
+	// BytesTol is the tolerated B/op growth (default 0.10).
+	BytesTol float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.NSTol == 0 {
+		o.NSTol = 0.25
+	}
+	if o.AllocTol == 0 {
+		o.AllocTol = 0.05
+	}
+	if o.BytesTol == 0 {
+		o.BytesTol = 0.10
+	}
+	return o
+}
+
+// Delta is one benchmark's old→new movement in one dimension.
+type Delta struct {
+	Name string // benchmark name
+	Dim  string // "ns/op", "allocs/op", "B/op"
+	Old  float64
+	New  float64
+	// Frac is the fractional change ((new-old)/old); +0.37 is 37% slower.
+	Frac float64
+	// Regressed marks deltas beyond the dimension's tolerance.
+	Regressed bool
+	// OnlyIn flags benchmarks present in just one point ("old"/"new");
+	// such rows carry no delta.
+	OnlyIn string
+}
+
+// Compare diffs two trajectory points benchmark-by-benchmark (matched
+// on name), returning one row per dimension per shared benchmark plus
+// presence rows for benchmarks only one side has. Rows are sorted by
+// benchmark name, then dimension.
+func Compare(old, new *Point, opts CompareOptions) []Delta {
+	opts = opts.withDefaults()
+	oldBy := byName(old.Benchmarks)
+	newBy := byName(new.Benchmarks)
+
+	var out []Delta
+	for name, ob := range oldBy {
+		nb, ok := newBy[name]
+		if !ok {
+			out = append(out, Delta{Name: name, OnlyIn: "old"})
+			continue
+		}
+		out = append(out, dim(name, "ns/op", ob.NSPerOp, nb.NSPerOp, opts.NSTol))
+		if ob.AllocsOp > 0 || nb.AllocsOp > 0 {
+			out = append(out, dim(name, "allocs/op", ob.AllocsOp, nb.AllocsOp, opts.AllocTol))
+		}
+		if ob.BytesPerOp > 0 || nb.BytesPerOp > 0 {
+			out = append(out, dim(name, "B/op", ob.BytesPerOp, nb.BytesPerOp, opts.BytesTol))
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			out = append(out, Delta{Name: name, OnlyIn: "new"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Dim < out[j].Dim
+	})
+	return out
+}
+
+func byName(bs []Benchmark) map[string]Benchmark {
+	m := make(map[string]Benchmark, len(bs))
+	for _, b := range bs {
+		m[b.Name] = b
+	}
+	return m
+}
+
+func dim(name, dimName string, oldV, newV, tol float64) Delta {
+	d := Delta{Name: name, Dim: dimName, Old: oldV, New: newV}
+	if oldV > 0 {
+		d.Frac = (newV - oldV) / oldV
+		d.Regressed = tol >= 0 && d.Frac > tol
+	}
+	return d
+}
+
+// HasRegressions reports whether any row regressed.
+func HasRegressions(deltas []Delta) bool {
+	for _, d := range deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}

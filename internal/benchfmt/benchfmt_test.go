@@ -1,0 +1,124 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	b, ok := ParseLine("BenchmarkSolveCacheWarm-8   	  124567	      9506 ns/op	    2163 B/op	      37 allocs/op")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "BenchmarkSolveCacheWarm" || b.Procs != 8 {
+		t.Fatalf("name/procs = %q/%d", b.Name, b.Procs)
+	}
+	if b.Iterations != 124567 || b.NSPerOp != 9506 || b.BytesPerOp != 2163 || b.AllocsOp != 37 {
+		t.Fatalf("values = %+v", b)
+	}
+
+	b, ok = ParseLine("BenchmarkOptimize-8   10   100000000 ns/op   12.5 solves/op")
+	if !ok || b.Metrics["solves/op"] != 12.5 {
+		t.Fatalf("custom metric = %+v ok=%v", b, ok)
+	}
+
+	if _, ok := ParseLine("PASS"); ok {
+		t.Fatal("non-benchmark line parsed")
+	}
+	if _, ok := ParseLine("BenchmarkX-8 notanumber 1 ns/op"); ok {
+		t.Fatal("bad iteration count parsed")
+	}
+}
+
+func TestParseOutput(t *testing.T) {
+	in := `goos: linux
+BenchmarkA-8   100   50 ns/op   16 B/op   1 allocs/op
+some noise
+BenchmarkB-8   200   75 ns/op   0 B/op   0 allocs/op
+PASS
+`
+	var echo strings.Builder
+	bs, err := ParseOutput(strings.NewReader(in), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0].Name != "BenchmarkA" || bs[1].Name != "BenchmarkB" {
+		t.Fatalf("parsed %+v", bs)
+	}
+	if !strings.Contains(echo.String(), "some noise") {
+		t.Fatal("echo did not copy input")
+	}
+}
+
+func TestLoadSchemaGate(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	os.WriteFile(good, []byte(`{"schema":"thistle-bench-v1","date":"2026-08-05","go_version":"go1.24","benchmarks":[{"name":"BenchmarkA","iterations":10,"ns_per_op":50}]}`), 0o644)
+	p, err := Load(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Date != "2026-08-05" || len(p.Benchmarks) != 1 {
+		t.Fatalf("loaded %+v", p)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`{"schema":"other-v9"}`), 0o644)
+	if _, err := Load(bad); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := &Point{Benchmarks: []Benchmark{
+		{Name: "BenchmarkWarm", NSPerOp: 9506, AllocsOp: 137, BytesPerOp: 26000},
+		{Name: "BenchmarkGone", NSPerOp: 10},
+	}}
+	new := &Point{Benchmarks: []Benchmark{
+		{Name: "BenchmarkWarm", NSPerOp: 13014, AllocsOp: 137, BytesPerOp: 26000},
+		{Name: "BenchmarkNew", NSPerOp: 5},
+	}}
+	deltas := Compare(old, new, CompareOptions{})
+	if !HasRegressions(deltas) {
+		t.Fatal("37% ns/op growth not flagged with 25% tolerance")
+	}
+	var sawNS, sawAllocs, sawOld, sawNew bool
+	for _, d := range deltas {
+		switch {
+		case d.Name == "BenchmarkWarm" && d.Dim == "ns/op":
+			sawNS = true
+			if !d.Regressed {
+				t.Fatalf("ns/op delta %+v not regressed", d)
+			}
+			if d.Frac < 0.35 || d.Frac > 0.40 {
+				t.Fatalf("frac = %v, want ~0.37", d.Frac)
+			}
+		case d.Name == "BenchmarkWarm" && d.Dim == "allocs/op":
+			sawAllocs = true
+			if d.Regressed {
+				t.Fatalf("flat allocs flagged: %+v", d)
+			}
+		case d.OnlyIn == "old":
+			sawOld = true
+		case d.OnlyIn == "new":
+			sawNew = true
+		}
+	}
+	if !sawNS || !sawAllocs || !sawOld || !sawNew {
+		t.Fatalf("missing rows: ns=%v allocs=%v old=%v new=%v in %+v", sawNS, sawAllocs, sawOld, sawNew, deltas)
+	}
+
+	// A generous tolerance accepts the same drift.
+	if HasRegressions(Compare(old, new, CompareOptions{NSTol: 0.50})) {
+		t.Fatal("50% tolerance still flagged a 37% drift")
+	}
+	// Negative tolerance disables the dimension.
+	if HasRegressions(Compare(old, new, CompareOptions{NSTol: -1})) {
+		t.Fatal("disabled dimension still flagged")
+	}
+}

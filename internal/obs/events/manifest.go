@@ -73,8 +73,13 @@ type CacheStats struct {
 // manifest, and loaded tolerantly (corrupt files are reported, not
 // misread).
 type Manifest struct {
-	Schema    string        `json:"schema"`
-	RunID     string        `json:"run_id"`
+	Schema string `json:"schema"`
+	RunID  string `json:"run_id"`
+	// RequestID is the client-correlatable request identifier when the
+	// run was executed by thistled (the X-Request-ID the response
+	// echoed); empty for CLI runs. It is the join key across access
+	// logs, traces, and this manifest.
+	RequestID string        `json:"request_id,omitempty"`
 	Tool      string        `json:"tool"`
 	Args      []string      `json:"args,omitempty"`
 	GitRev    string        `json:"git_rev,omitempty"`
@@ -222,6 +227,18 @@ func vcsRevision() string {
 // line alone.
 func BuildRevision() string { return vcsRevision() }
 
+// SetRequestID stamps the serving-layer request identifier onto the
+// run record (no-op on a nil receiver). Call it before StartFields or
+// Finish so the ID reaches both the event stream and the manifest.
+func (r *Recorder) SetRequestID(id string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.man.RequestID = id
+}
+
 // RunID returns the run's identifier.
 func (r *Recorder) RunID() string {
 	if r == nil {
@@ -236,7 +253,9 @@ func (r *Recorder) StartFields() map[string]any {
 	if r == nil {
 		return nil
 	}
-	return map[string]any{
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := map[string]any{
 		"run_id":     r.man.RunID,
 		"tool":       r.man.Tool,
 		"go_version": r.man.GoVersion,
@@ -244,6 +263,10 @@ func (r *Recorder) StartFields() map[string]any {
 		"args":       r.man.Args,
 		"start_time": r.man.StartTime,
 	}
+	if r.man.RequestID != "" {
+		f["request_id"] = r.man.RequestID
+	}
+	return f
 }
 
 // Emit consumes one event, folding row-bearing types into the manifest.

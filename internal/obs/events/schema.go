@@ -74,7 +74,7 @@ func Schema() map[string]EventSpec {
 	return map[string]EventSpec{
 		EvRunStart: row(
 			map[string]FieldKind{"run_id": KindString, "tool": KindString, "go_version": KindString},
-			map[string]FieldKind{"git_rev": KindString, "args": KindAny, "start_time": KindString},
+			map[string]FieldKind{"git_rev": KindString, "args": KindAny, "start_time": KindString, "request_id": KindString},
 		),
 		EvRunEnd: row(
 			map[string]FieldKind{

@@ -1,0 +1,394 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (0.0.4) payload
+// against the exposition grammar: metric and label name charsets,
+// HELP-before-TYPE-before-samples ordering per family, no duplicate
+// declarations or samples, histogram `le` labels present and strictly
+// increasing with cumulative non-decreasing counts and the `+Inf`
+// bucket equal to `_count`, and every sample attributable to a declared
+// family. It is the guard the /metrics tests run so a bad metric name
+// can never ship.
+func ValidateExposition(r io.Reader) error {
+	v := &expoValidator{
+		families: map[string]*expoFamily{},
+		seen:     map[string]bool{},
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("line %d: %w: %q", lineno, err, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return v.finish()
+}
+
+type expoFamily struct {
+	typ     string
+	hasHelp bool
+	samples int
+	closed  bool // a later family started; more samples are an interleave error
+
+	// histogram state
+	lastLE   float64
+	lastCum  float64
+	infCum   float64
+	hasInf   bool
+	count    float64
+	hasCount bool
+}
+
+type expoValidator struct {
+	families map[string]*expoFamily
+	seen     map[string]bool // exact sample identity (name+labels)
+	current  string          // family currently being emitted
+}
+
+func (v *expoValidator) line(line string) error {
+	switch {
+	case strings.TrimSpace(line) == "":
+		return nil
+	case strings.HasPrefix(line, "# HELP "):
+		return v.help(line)
+	case strings.HasPrefix(line, "# TYPE "):
+		return v.typ(line)
+	case strings.HasPrefix(line, "#"):
+		return nil // free-form comment
+	default:
+		return v.sample(line)
+	}
+}
+
+func (v *expoValidator) help(line string) error {
+	rest := strings.TrimPrefix(line, "# HELP ")
+	name, _, ok := strings.Cut(rest, " ")
+	if !ok || name == "" {
+		return fmt.Errorf("malformed HELP")
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	f := v.families[name]
+	if f == nil {
+		f = &expoFamily{}
+		v.families[name] = f
+	}
+	if f.hasHelp {
+		return fmt.Errorf("duplicate HELP for %s", name)
+	}
+	if f.typ != "" {
+		return fmt.Errorf("HELP for %s after its TYPE", name)
+	}
+	if f.samples > 0 {
+		return fmt.Errorf("HELP for %s after its samples", name)
+	}
+	f.hasHelp = true
+	return nil
+}
+
+func (v *expoValidator) typ(line string) error {
+	rest := strings.TrimPrefix(line, "# TYPE ")
+	fields := strings.Fields(rest)
+	if len(fields) != 2 {
+		return fmt.Errorf("malformed TYPE")
+	}
+	name, t := fields[0], fields[1]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	switch t {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+	default:
+		return fmt.Errorf("unknown type %q", t)
+	}
+	f := v.families[name]
+	if f == nil {
+		f = &expoFamily{}
+		v.families[name] = f
+	}
+	if f.typ != "" {
+		return fmt.Errorf("duplicate TYPE for %s", name)
+	}
+	if f.samples > 0 {
+		return fmt.Errorf("TYPE for %s after its samples", name)
+	}
+	f.typ = t
+	v.startFamily(name, f)
+	return nil
+}
+
+// startFamily closes the previously-current family: once another family
+// starts emitting, interleaved samples are a grammar violation.
+func (v *expoValidator) startFamily(name string, f *expoFamily) {
+	if v.current != "" && v.current != name {
+		if prev := v.families[v.current]; prev != nil {
+			prev.closed = true
+		}
+	}
+	v.current = name
+}
+
+func (v *expoValidator) sample(line string) error {
+	name, labels, value, err := parseSampleLine(line)
+	if err != nil {
+		return err
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	famName, role := v.resolveFamily(name)
+	f := v.families[famName]
+	if f == nil || f.typ == "" {
+		return fmt.Errorf("sample for %s without a TYPE declaration", name)
+	}
+	if f.closed {
+		return fmt.Errorf("sample for %s interleaved after another family started", name)
+	}
+	v.startFamily(famName, f)
+	f.samples++
+
+	id := name + "{" + labels + "}"
+	if v.seen[id] {
+		return fmt.Errorf("duplicate sample %s", id)
+	}
+	v.seen[id] = true
+
+	le, hasLE, err := checkLabels(labels)
+	if err != nil {
+		return err
+	}
+
+	switch role {
+	case "bucket":
+		if f.typ != "histogram" {
+			return fmt.Errorf("_bucket sample on non-histogram family %s", famName)
+		}
+		if !hasLE {
+			return fmt.Errorf("histogram bucket without le label")
+		}
+		if value < f.lastCum {
+			return fmt.Errorf("bucket counts not cumulative for %s (%g after %g)", famName, value, f.lastCum)
+		}
+		if le == "+Inf" {
+			f.hasInf = true
+			f.infCum = value
+		} else {
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+			if b <= f.lastLE && f.lastLE != 0 {
+				return fmt.Errorf("le bounds not increasing for %s (%g after %g)", famName, b, f.lastLE)
+			}
+			f.lastLE = b
+		}
+		f.lastCum = value
+	case "count":
+		if f.typ == "histogram" || f.typ == "summary" {
+			f.count = value
+			f.hasCount = true
+		}
+	case "sum":
+		// value may be any float
+	default:
+		if f.typ == "histogram" {
+			return fmt.Errorf("bare sample %s on histogram family", name)
+		}
+	}
+	return nil
+}
+
+// resolveFamily maps a sample name onto its declaring family: exact
+// match, or base+_bucket/_sum/_count for histogram/summary series.
+func (v *expoValidator) resolveFamily(name string) (family, role string) {
+	if f, ok := v.families[name]; ok && f.typ != "" && f.typ != "histogram" && f.typ != "summary" {
+		return name, ""
+	}
+	for _, suf := range [...]string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if f := v.families[base]; f != nil && (f.typ == "histogram" || f.typ == "summary") {
+				return base, strings.TrimPrefix(suf, "_")
+			}
+		}
+	}
+	return name, ""
+}
+
+func (v *expoValidator) finish() error {
+	for name, f := range v.families {
+		if f.typ == "" {
+			return fmt.Errorf("HELP for %s without a TYPE", name)
+		}
+		if f.samples == 0 {
+			return fmt.Errorf("family %s declared but has no samples", name)
+		}
+		if f.typ == "histogram" {
+			if !f.hasInf {
+				return fmt.Errorf("histogram %s missing +Inf bucket", name)
+			}
+			if !f.hasCount {
+				return fmt.Errorf("histogram %s missing _count", name)
+			}
+			if f.infCum != f.count {
+				return fmt.Errorf("histogram %s +Inf bucket (%g) != _count (%g)", name, f.infCum, f.count)
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleLine splits `name{labels} value [timestamp]`.
+func parseSampleLine(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		var ok bool
+		name, rest, ok = strings.Cut(rest, " ")
+		if !ok {
+			return "", "", 0, fmt.Errorf("sample line without a value")
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("expected value [timestamp]")
+	}
+	value, err = parseSampleValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if len(fields) == 2 {
+		if _, tsErr := strconv.ParseInt(fields[1], 10, 64); tsErr != nil {
+			return "", "", 0, fmt.Errorf("unparseable timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkLabels validates `k="v",...` syntax and returns the `le` value
+// when present.
+func checkLabels(labels string) (le string, hasLE bool, err error) {
+	s := labels
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return "", false, fmt.Errorf("label without '=' in %q", labels)
+		}
+		name := s[:eq]
+		if !validLabelName(name) {
+			return "", false, fmt.Errorf("invalid label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return "", false, fmt.Errorf("label value for %q not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return "", false, fmt.Errorf("dangling escape in label %q", name)
+				}
+				i++
+				switch s[i] {
+				case '\\', '"':
+					val.WriteByte(s[i])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return "", false, fmt.Errorf("bad escape \\%c in label %q", s[i], name)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return "", false, fmt.Errorf("unterminated label value for %q", name)
+		}
+		if name == "le" {
+			le, hasLE = val.String(), true
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+	return le, hasLE, nil
+}
+
+// validMetricName reports whether name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(name string) bool {
+	if name == "" || strings.HasPrefix(name, "__") {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

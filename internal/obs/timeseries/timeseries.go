@@ -1,0 +1,422 @@
+// Package timeseries is the over-time layer of the observability
+// stack: where an obs.Registry snapshot answers "what are the totals
+// right now", a timeseries.Collector answers "what happened over the
+// last half hour". It samples a registry at a fixed interval into
+// bounded ring-buffer series — one per counter and gauge, plus derived
+// count/quantile series per histogram — and encodes deterministic
+// snapshots under the thistle-timeseries-v1 schema, which thistled
+// serves as the /varz endpoint and cmd/tlmon renders live.
+//
+// Memory is strictly bounded: every series keeps at most Capacity
+// samples (a ring), and the set of series is bounded by the registry's
+// metric set. Derivations happen at sample time, not query time:
+//
+//   - counters carry their cumulative value plus a per-second rate
+//     against the previous sample;
+//   - histograms spawn "<name>.count" (a counter series whose rate is
+//     the operation throughput) and "<name>.p50_ms" / ".p95_ms" /
+//     ".p99_ms" window series holding the quantiles of only the
+//     observations that landed in that sampling interval (cumulative
+//     bucket deltas), so a latency spike is visible the interval it
+//     happens instead of being averaged into the run's lifetime.
+package timeseries
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SchemaVersion tags /varz snapshots; consumers (cmd/tlmon) reject
+// other schemas instead of misreading them.
+const SchemaVersion = "thistle-timeseries-v1"
+
+// Series kinds. A counter sample carries the cumulative value and a
+// derived per-second rate; a gauge sample is the instantaneous value; a
+// window sample is a value derived from only that sampling interval
+// (histogram quantiles of the interval's observations).
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+	KindWindow  = "window"
+)
+
+// Options sizes a Collector. Zero values select defaults.
+type Options struct {
+	// Interval is the sampling cadence (0: 5s). It is also the
+	// staleness bound SampleIfStale applies.
+	Interval time.Duration
+	// Capacity bounds samples retained per series (0: 360 — half an
+	// hour at the default interval).
+	Capacity int
+	// Now overrides the clock (tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Interval <= 0 {
+		o.Interval = 5 * time.Second
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 360
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Sample is one point of a series. T is unix milliseconds; V is the
+// sampled value (cumulative for counters, instantaneous for gauges,
+// interval-derived for window series). Rate is the per-second delta
+// against the previous sample, set only on counter-kind series.
+type Sample struct {
+	T    int64   `json:"t"`
+	V    float64 `json:"v"`
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// Series is one named metric's retained history, oldest sample first.
+type Series struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"`
+	Samples []Sample `json:"samples"`
+}
+
+// Snapshot is a deterministic point-in-time encoding of every series:
+// series sorted by name, samples in chronological order, so two
+// snapshots of identical collector states JSON-encode byte-identically.
+type Snapshot struct {
+	Schema     string   `json:"schema"`
+	NowUnixMS  int64    `json:"now_unix_ms"`
+	IntervalMS int64    `json:"interval_ms"`
+	Capacity   int      `json:"capacity"`
+	Rounds     int64    `json:"rounds"`
+	Series     []Series `json:"series,omitempty"`
+}
+
+// WriteJSON writes the snapshot as indented JSON (the /varz page body).
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ring is one series' bounded sample buffer.
+type ring struct {
+	kind string
+	buf  []Sample
+	head int // next write position
+	n    int // samples held (≤ len(buf))
+}
+
+func (r *ring) push(s Sample) {
+	r.buf[r.head] = s
+	r.head = (r.head + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// ordered returns the samples oldest-first.
+func (r *ring) ordered() []Sample {
+	out := make([]Sample, 0, r.n)
+	start := r.head - r.n
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+func (r *ring) last() (Sample, bool) {
+	if r.n == 0 {
+		return Sample{}, false
+	}
+	i := r.head - 1
+	if i < 0 {
+		i += len(r.buf)
+	}
+	return r.buf[i], true
+}
+
+// Collector samples an obs.Registry into bounded per-metric rings. All
+// methods are safe for concurrent use; the background sampler (Start)
+// and on-demand sampling (SampleIfStale, from /varz reads) share one
+// lock, so rounds never interleave.
+type Collector struct {
+	reg *obs.Registry
+	opt Options
+
+	mu           sync.Mutex
+	series       map[string]*ring
+	prevCounters map[string]int64
+	prevHists    map[string]obs.HistogramValue
+	lastSample   time.Time
+	rounds       int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	started  bool
+}
+
+// New builds a collector over reg. It takes no sample and starts no
+// goroutine; call Start for background sampling or SampleNow/
+// SampleIfStale for explicit rounds.
+func New(reg *obs.Registry, opt Options) *Collector {
+	return &Collector{
+		reg:          reg,
+		opt:          opt.withDefaults(),
+		series:       map[string]*ring{},
+		prevCounters: map[string]int64{},
+		prevHists:    map[string]obs.HistogramValue{},
+		stop:         make(chan struct{}),
+	}
+}
+
+// Interval returns the sampling cadence.
+func (c *Collector) Interval() time.Duration { return c.opt.Interval }
+
+// Start launches the background sampler: one round immediately, then
+// one per interval until Stop. Calling Start twice is a no-op.
+func (c *Collector) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.mu.Unlock()
+	c.SampleNow()
+	go func() {
+		t := time.NewTicker(c.opt.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.SampleNow()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background sampler. Idempotent; safe without Start.
+func (c *Collector) Stop() { c.stopOnce.Do(func() { close(c.stop) }) }
+
+// SampleNow takes one sampling round: every counter, gauge, and
+// histogram of the registry gains one sample (creating series on first
+// sight).
+func (c *Collector) SampleNow() {
+	snap := c.reg.Snapshot()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opt.Now()
+	t := now.UnixMilli()
+	dt := now.Sub(c.lastSample).Seconds()
+
+	for _, cv := range snap.Counters {
+		c.pushCounter(cv.Name, t, float64(cv.Value), rate(float64(cv.Value), c.prevCounterValue(cv.Name), dt))
+		c.prevCounters[cv.Name] = cv.Value
+	}
+	for _, gv := range snap.Gauges {
+		c.push(gv.Name, KindGauge, Sample{T: t, V: float64(gv.Value)})
+	}
+	for _, hv := range snap.Histograms {
+		prev, seen := c.prevHists[hv.Name]
+		cnt := float64(hv.Count)
+		var prevCnt float64
+		if seen {
+			prevCnt = float64(prev.Count)
+		}
+		c.pushCounter(hv.Name+".count", t, cnt, rate(cnt, prevCnt, dt))
+		delta := subtractHistogram(hv, prev)
+		for _, q := range [...]struct {
+			suffix string
+			q      float64
+		}{{".p50_ms", 0.50}, {".p95_ms", 0.95}, {".p99_ms", 0.99}} {
+			var ms float64
+			if delta.Count > 0 {
+				ms = float64(delta.Quantile(q.q)) / float64(time.Millisecond)
+			}
+			c.push(hv.Name+q.suffix, KindWindow, Sample{T: t, V: ms})
+		}
+		c.prevHists[hv.Name] = hv
+	}
+	c.lastSample = now
+	c.rounds++
+}
+
+func (c *Collector) prevCounterValue(name string) float64 {
+	if v, ok := c.prevCounters[name]; ok {
+		return float64(v)
+	}
+	return math.NaN() // first sight: no rate
+}
+
+// rate derives a per-second rate, 0 on the first sample of a series or
+// a non-positive interval (clock skew), and never negative (registry
+// counters are monotone; a reset would otherwise render as a spike).
+func rate(cur, prev, dt float64) float64 {
+	if math.IsNaN(prev) || dt <= 0 {
+		return 0
+	}
+	r := (cur - prev) / dt
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+func (c *Collector) pushCounter(name string, t int64, v, r float64) {
+	c.push(name, KindCounter, Sample{T: t, V: v, Rate: r})
+}
+
+func (c *Collector) push(name, kind string, s Sample) {
+	rg := c.series[name]
+	if rg == nil {
+		rg = &ring{kind: kind, buf: make([]Sample, c.opt.Capacity)}
+		c.series[name] = rg
+	}
+	rg.push(s)
+}
+
+// SampleIfStale takes a round when no sample exists yet or the last one
+// is at least one interval old. /varz calls it so a scrape is never
+// staler than the cadence even when the background sampler is off.
+func (c *Collector) SampleIfStale() {
+	c.mu.Lock()
+	stale := c.rounds == 0 || c.opt.Now().Sub(c.lastSample) >= c.opt.Interval
+	c.mu.Unlock()
+	if stale {
+		c.SampleNow()
+	}
+}
+
+// subtractHistogram returns the distribution of observations recorded
+// between prev and cur (cumulative bucket deltas). prev may be the zero
+// value (first sample: the whole histogram is the delta).
+func subtractHistogram(cur, prev obs.HistogramValue) obs.HistogramValue {
+	prevByLow := map[int64]int64{}
+	for _, b := range prev.Buckets {
+		prevByLow[b.LowUS] = b.Count
+	}
+	d := obs.HistogramValue{Name: cur.Name, Count: cur.Count - prev.Count, SumNS: cur.SumNS - prev.SumNS}
+	if d.Count <= 0 {
+		return obs.HistogramValue{Name: cur.Name}
+	}
+	for _, b := range cur.Buckets {
+		if n := b.Count - prevByLow[b.LowUS]; n > 0 {
+			d.Buckets = append(d.Buckets, obs.HistBucket{LowUS: b.LowUS, Count: n})
+		}
+	}
+	return d
+}
+
+// Snapshot copies every series, sorted by name, oldest sample first.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Snapshot{
+		Schema:     SchemaVersion,
+		NowUnixMS:  c.opt.Now().UnixMilli(),
+		IntervalMS: c.opt.Interval.Milliseconds(),
+		Capacity:   c.opt.Capacity,
+		Rounds:     c.rounds,
+	}
+	names := make([]string, 0, len(c.series))
+	for name := range c.series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rg := c.series[name]
+		s.Series = append(s.Series, Series{Name: name, Kind: rg.kind, Samples: rg.ordered()})
+	}
+	return s
+}
+
+// Last returns the newest sample of a series, false when the series
+// does not exist or holds no samples yet.
+func (c *Collector) Last(name string) (Sample, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rg := c.series[name]
+	if rg == nil {
+		return Sample{}, false
+	}
+	return rg.last()
+}
+
+// Values returns a series' sample values oldest-first (nil when absent).
+func (c *Collector) Values(name string) []float64 {
+	return c.extract(name, func(s Sample) float64 { return s.V })
+}
+
+// Rates returns a series' per-sample rates oldest-first (all zero for
+// non-counter series).
+func (c *Collector) Rates(name string) []float64 {
+	return c.extract(name, func(s Sample) float64 { return s.Rate })
+}
+
+func (c *Collector) extract(name string, f func(Sample) float64) []float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rg := c.series[name]
+	if rg == nil {
+		return nil
+	}
+	samples := rg.ordered()
+	out := make([]float64, len(samples))
+	for i, s := range samples {
+		out[i] = f(s)
+	}
+	return out
+}
+
+// sparkLevels is the 8-level block ramp sparklines draw with.
+var sparkLevels = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline, scaled to the slice's
+// maximum. An empty slice renders empty; an all-zero (or negative)
+// slice renders as the lowest level.
+func Spark(values []float64) string {
+	max := 0.0
+	for _, v := range values {
+		if v > max {
+			max = v
+		}
+	}
+	out := make([]rune, len(values))
+	for i, v := range values {
+		lvl := 0
+		if max > 0 && v > 0 {
+			lvl = int(math.Round(v / max * float64(len(sparkLevels)-1)))
+			if lvl < 0 {
+				lvl = 0
+			}
+			if lvl >= len(sparkLevels) {
+				lvl = len(sparkLevels) - 1
+			}
+		}
+		out[i] = sparkLevels[lvl]
+	}
+	return string(out)
+}
+
+// Tail returns at most n trailing values (the newest), preserving
+// order. Sparkline callers use it to fit a fixed display width.
+func Tail(values []float64, n int) []float64 {
+	if n <= 0 || len(values) <= n {
+		return values
+	}
+	return values[len(values)-n:]
+}

@@ -1,0 +1,260 @@
+package timeseries
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// fakeClock steps a deterministic clock by a fixed interval per call
+// site that advances it.
+type fakeClock struct {
+	t time.Time
+}
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newClock() *fakeClock                   { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newCollector(reg *obs.Registry, clk *fakeClock, capacity int) *Collector {
+	return New(reg, Options{Interval: 5 * time.Second, Capacity: capacity, Now: clk.now})
+}
+
+func TestCounterRateDerivation(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 8)
+	reqs := reg.Counter("serve.requests")
+
+	reqs.Add(10)
+	c.SampleNow() // first sight: no rate
+	clk.advance(5 * time.Second)
+	reqs.Add(25)
+	c.SampleNow()
+
+	vals := c.Values("serve.requests")
+	if len(vals) != 2 || vals[0] != 10 || vals[1] != 35 {
+		t.Fatalf("values = %v, want [10 35]", vals)
+	}
+	rates := c.Rates("serve.requests")
+	if len(rates) != 2 || rates[0] != 0 {
+		t.Fatalf("rates = %v, want first 0", rates)
+	}
+	if got, want := rates[1], 5.0; got != want { // 25 over 5s
+		t.Fatalf("rate = %v, want %v", got, want)
+	}
+}
+
+func TestGaugeSampling(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 8)
+	g := reg.Gauge("serve.queue_depth")
+
+	g.Set(3)
+	c.SampleNow()
+	clk.advance(5 * time.Second)
+	g.Set(7)
+	c.SampleNow()
+
+	if vals := c.Values("serve.queue_depth"); len(vals) != 2 || vals[0] != 3 || vals[1] != 7 {
+		t.Fatalf("values = %v, want [3 7]", vals)
+	}
+	snap := c.Snapshot()
+	for _, s := range snap.Series {
+		if s.Name == "serve.queue_depth" && s.Kind != KindGauge {
+			t.Fatalf("kind = %q, want gauge", s.Kind)
+		}
+	}
+}
+
+func TestHistogramWindowQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 8)
+	h := reg.Histogram("serve.request.latency")
+
+	// Round 1: fast observations (~1ms).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	c.SampleNow()
+	// Round 2: slow observations only (~100ms). The window quantile must
+	// reflect the interval's distribution, not the cumulative one.
+	clk.advance(5 * time.Second)
+	for i := 0; i < 100; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	c.SampleNow()
+
+	p95 := c.Values("serve.request.latency.p95_ms")
+	if len(p95) != 2 {
+		t.Fatalf("p95 samples = %v, want 2", p95)
+	}
+	if p95[0] > 10 {
+		t.Fatalf("round-1 p95 = %vms, want ~1ms (< 10)", p95[0])
+	}
+	if p95[1] < 50 {
+		t.Fatalf("round-2 p95 = %vms, want ~100ms (>= 50); cumulative leak?", p95[1])
+	}
+
+	// The synthesized .count series is a counter with a throughput rate.
+	counts := c.Values("serve.request.latency.count")
+	if len(counts) != 2 || counts[0] != 100 || counts[1] != 200 {
+		t.Fatalf("counts = %v, want [100 200]", counts)
+	}
+	rates := c.Rates("serve.request.latency.count")
+	if rates[1] != 20 { // 100 obs over 5s
+		t.Fatalf("count rate = %v, want 20", rates[1])
+	}
+
+	// Round 3: idle interval → zero window quantile, zero rate.
+	clk.advance(5 * time.Second)
+	c.SampleNow()
+	p95 = c.Values("serve.request.latency.p95_ms")
+	if p95[2] != 0 {
+		t.Fatalf("idle p95 = %v, want 0", p95[2])
+	}
+}
+
+func TestRingBoundsMemory(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 4)
+	cnt := reg.Counter("x")
+
+	for i := 0; i < 10; i++ {
+		cnt.Inc()
+		c.SampleNow()
+		clk.advance(5 * time.Second)
+	}
+	vals := c.Values("x")
+	if len(vals) != 4 {
+		t.Fatalf("retained %d samples, want capacity 4", len(vals))
+	}
+	// Oldest retained sample is round 7 (value 7), newest round 10.
+	want := []float64{7, 8, 9, 10}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("values = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 8)
+	reg.Counter("b.count").Add(2)
+	reg.Counter("a.count").Add(1)
+	reg.Gauge("m.gauge").Set(5)
+	reg.Histogram("h.lat").Observe(time.Millisecond)
+	c.SampleNow()
+
+	s1, s2 := c.Snapshot(), c.Snapshot()
+	var b1, b2 bytes.Buffer
+	if err := s1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatalf("snapshots differ:\n%s\n%s", b1.String(), b2.String())
+	}
+	if s1.Schema != SchemaVersion {
+		t.Fatalf("schema = %q, want %q", s1.Schema, SchemaVersion)
+	}
+	// Series sorted by name.
+	for i := 1; i < len(s1.Series); i++ {
+		if s1.Series[i-1].Name >= s1.Series[i].Name {
+			t.Fatalf("series not sorted: %q before %q", s1.Series[i-1].Name, s1.Series[i].Name)
+		}
+	}
+	if s1.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", s1.Rounds)
+	}
+}
+
+func TestSampleIfStale(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 8)
+	reg.Counter("x").Inc()
+
+	c.SampleIfStale() // no samples yet: must sample
+	if got := c.Snapshot().Rounds; got != 1 {
+		t.Fatalf("rounds = %d, want 1", got)
+	}
+	c.SampleIfStale() // fresh: must not
+	if got := c.Snapshot().Rounds; got != 1 {
+		t.Fatalf("rounds = %d after fresh re-check, want 1", got)
+	}
+	clk.advance(6 * time.Second)
+	c.SampleIfStale() // stale: must sample
+	if got := c.Snapshot().Rounds; got != 2 {
+		t.Fatalf("rounds = %d after staleness, want 2", got)
+	}
+}
+
+func TestStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("x").Inc()
+	c := New(reg, Options{Interval: time.Hour, Capacity: 4})
+	c.Start()
+	defer c.Stop()
+	// Start samples synchronously once before launching the ticker.
+	if got := c.Snapshot().Rounds; got != 1 {
+		t.Fatalf("rounds after Start = %d, want 1", got)
+	}
+	c.Stop()
+	c.Stop() // idempotent
+}
+
+func TestLast(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := newClock()
+	c := newCollector(reg, clk, 4)
+	if _, ok := c.Last("missing"); ok {
+		t.Fatal("Last on missing series returned ok")
+	}
+	reg.Gauge("g").Set(42)
+	c.SampleNow()
+	s, ok := c.Last("g")
+	if !ok || s.V != 42 {
+		t.Fatalf("Last = %+v ok=%v, want V=42", s, ok)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark(nil); got != "" {
+		t.Fatalf("Spark(nil) = %q, want empty", got)
+	}
+	if got := Spark([]float64{0, 0, 0}); got != "▁▁▁" {
+		t.Fatalf("Spark(zeros) = %q, want ▁▁▁", got)
+	}
+	got := Spark([]float64{0, 1, 2, 4})
+	if len([]rune(got)) != 4 {
+		t.Fatalf("Spark length = %d, want 4", len([]rune(got)))
+	}
+	if []rune(got)[3] != '█' {
+		t.Fatalf("max value should render █, got %q", got)
+	}
+	if []rune(got)[0] != '▁' {
+		t.Fatalf("zero should render ▁, got %q", got)
+	}
+}
+
+func TestTail(t *testing.T) {
+	v := []float64{1, 2, 3, 4, 5}
+	if got := Tail(v, 3); len(got) != 3 || got[0] != 3 {
+		t.Fatalf("Tail = %v, want [3 4 5]", got)
+	}
+	if got := Tail(v, 10); len(got) != 5 {
+		t.Fatalf("Tail beyond length = %v, want all", got)
+	}
+	if got := Tail(v, 0); len(got) != 5 {
+		t.Fatalf("Tail(0) = %v, want all", got)
+	}
+}

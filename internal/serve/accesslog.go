@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RequestIDHeader is the header the server honors inbound and echoes on
+// every response, error paths included. The same value lands in the
+// run's manifest (request_id), its trace ID seed, and the access log —
+// one key joins all four records.
+const RequestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an inbound ID; longer values are truncated so
+// a hostile client cannot bloat every record that carries the key.
+const maxRequestIDLen = 64
+
+type requestIDKey struct{}
+
+// RequestIDFromContext returns the request ID the middleware assigned
+// ("" outside a request).
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// sanitizeRequestID keeps the charset that is safe in headers, JSON
+// logs, and filenames ([A-Za-z0-9._-]); anything else is dropped. An
+// inbound ID that sanitizes to empty is treated as absent.
+func sanitizeRequestID(id string) string {
+	if len(id) > maxRequestIDLen {
+		id = id[:maxRequestIDLen]
+	}
+	out := make([]byte, 0, len(id))
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// newRequestID generates a server-assigned ID for requests that arrive
+// without one.
+func newRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-000000000000"
+	}
+	return "req-" + hex.EncodeToString(b[:])
+}
+
+// accessRecord is one structured access-log line (JSON, one per line).
+type accessRecord struct {
+	Time      string  `json:"ts"`
+	RequestID string  `json:"request_id"`
+	RunID     string  `json:"run_id,omitempty"`
+	TraceID   string  `json:"trace_id,omitempty"`
+	Remote    string  `json:"remote,omitempty"`
+	Method    string  `json:"method"`
+	Path      string  `json:"path"`
+	Status    int     `json:"status"`
+	Code      string  `json:"code,omitempty"` // API error code on failures
+	Request   string  `json:"request,omitempty"`
+	Layers    int     `json:"layers,omitempty"`
+	WallMS    float64 `json:"wall_ms"`
+	Sampled   bool    `json:"sampled,omitempty"` // true when kept by sampling, not by a force rule
+}
+
+// accessLogger writes sampled structured access logs. Sampling keeps
+// high-QPS logs bounded without losing the lines that matter: every
+// non-200 and every slow request is always written; fast successes are
+// kept 1-in-N.
+type accessLogger struct {
+	mu     sync.Mutex
+	w      io.Writer
+	sample int64 // keep 1 in sample fast successes (≤1: keep all)
+	slow   time.Duration
+	n      atomic.Int64
+}
+
+func newAccessLogger(w io.Writer, sample int, slow time.Duration) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	if slow <= 0 {
+		slow = time.Second
+	}
+	return &accessLogger{w: w, sample: int64(sample), slow: slow}
+}
+
+// log writes one record if it passes the keep rules. Nil-safe.
+func (l *accessLogger) log(rec accessRecord) {
+	if l == nil {
+		return
+	}
+	forced := rec.Status != http.StatusOK || time.Duration(rec.WallMS*float64(time.Millisecond)) >= l.slow
+	if !forced {
+		if l.sample > 1 && l.n.Add(1)%l.sample != 1 {
+			return
+		}
+		rec.Sampled = true
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, _ = l.w.Write(data) // best effort: logging must not fail requests
+}
+
+// statusRecorder captures the response status for the access line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// requestIDMiddleware assigns (or adopts) the request ID, echoes it on
+// the response before any handler writes, stashes it in the context,
+// and emits the access-log line for optimize requests once the handler
+// returns. Because it wraps the whole mux, rejection paths (405, 429,
+// 503, 404) echo the ID too.
+func (s *Server) requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := sanitizeRequestID(r.Header.Get(RequestIDHeader))
+		if id == "" {
+			id = newRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+
+		// Only the optimize endpoint gets access-log lines; probe
+		// endpoints (/metrics, /statusz, healthz) would drown the log.
+		if s.accessLog == nil || r.URL.Path != "/v1/optimize" {
+			next.ServeHTTP(w, r.WithContext(ctx))
+			return
+		}
+		sr := &statusRecorder{ResponseWriter: w}
+		t0 := time.Now()
+		next.ServeHTTP(sr, r.WithContext(ctx))
+		wall := time.Since(t0)
+		status := sr.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		rec := accessRecord{
+			Time:      t0.UTC().Format(time.RFC3339Nano),
+			RequestID: id,
+			Remote:    r.RemoteAddr,
+			Method:    r.Method,
+			Path:      r.URL.Path,
+			Status:    status,
+			WallMS:    float64(wall) / float64(time.Millisecond),
+		}
+		if d, ok := s.takeDetail(id); ok {
+			rec.RunID = d.runID
+			rec.TraceID = d.traceID
+			rec.Code = d.code
+			rec.Request = d.summary
+			rec.Layers = d.layers
+		}
+		s.accessLog.log(rec)
+	})
+}
+
+// reqDetail carries per-request fields from the handler to the
+// middleware's access line (keyed by request ID, removed on read).
+type reqDetail struct {
+	runID   string
+	traceID string
+	code    string
+	summary string
+	layers  int
+}
+
+func (s *Server) noteDetail(id string, d reqDetail) {
+	if s.accessLog == nil || id == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.details == nil {
+		s.details = map[string]reqDetail{}
+	}
+	s.details[id] = d
+}
+
+func (s *Server) takeDetail(id string) (reqDetail, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.details[id]
+	if ok {
+		delete(s.details, id)
+	}
+	return d, ok
+}

@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc-123_x.y", "abc-123_x.y"},
+		{"", ""},
+		{"has spaces\tand\ncontrol", "hasspacesandcontrol"},
+		{`"quoted"{json}`, "quotedjson"},
+		{strings.Repeat("a", 100), strings.Repeat("a", 64)},
+		{"héllo", "hllo"},
+	}
+	for _, tc := range cases {
+		if got := sanitizeRequestID(tc.in); got != tc.want {
+			t.Errorf("sanitizeRequestID(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestNewRequestIDShape(t *testing.T) {
+	a, b := newRequestID(), newRequestID()
+	if !strings.HasPrefix(a, "req-") || len(a) != 16 {
+		t.Fatalf("id %q, want req-<12 hex>", a)
+	}
+	if a == b {
+		t.Fatalf("consecutive ids collide: %q", a)
+	}
+	if sanitizeRequestID(a) != a {
+		t.Fatalf("generated id %q does not survive its own sanitizer", a)
+	}
+}
+
+// logLines decodes every access-log line written so far.
+func logLines(t *testing.T, buf *syncBuffer) []accessRecord {
+	t.Helper()
+	var out []accessRecord
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		var rec accessRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad access-log line %q: %v", sc.Text(), err)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// syncBuffer is a mutex-guarded string buffer (the logger serializes
+// writes, but tests read concurrently with the server).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+func TestAccessLoggerSampling(t *testing.T) {
+	var buf syncBuffer
+	l := newAccessLogger(&buf, 3, time.Second)
+
+	// 9 fast successes at 1-in-3 → 3 lines.
+	for i := 0; i < 9; i++ {
+		l.log(accessRecord{Status: 200, WallMS: 5})
+	}
+	if got := len(logLines(t, &buf)); got != 3 {
+		t.Fatalf("sampled %d lines, want 3", got)
+	}
+	for _, rec := range logLines(t, &buf) {
+		if !rec.Sampled {
+			t.Fatalf("kept-by-sampling line not marked sampled: %+v", rec)
+		}
+	}
+
+	// Errors and slow requests always log, unmarked.
+	l.log(accessRecord{Status: 429, WallMS: 1})
+	l.log(accessRecord{Status: 200, WallMS: 5000})
+	lines := logLines(t, &buf)
+	if len(lines) != 5 {
+		t.Fatalf("after forced lines: %d, want 5", len(lines))
+	}
+	if lines[3].Sampled || lines[4].Sampled {
+		t.Fatalf("forced lines marked sampled: %+v", lines[3:])
+	}
+}
+
+func TestAccessLoggerKeepAll(t *testing.T) {
+	var buf syncBuffer
+	l := newAccessLogger(&buf, 1, time.Second)
+	for i := 0; i < 4; i++ {
+		l.log(accessRecord{Status: 200, WallMS: 1})
+	}
+	if got := len(logLines(t, &buf)); got != 4 {
+		t.Fatalf("sample=1 kept %d of 4", got)
+	}
+}
+
+func TestAccessLoggerNil(t *testing.T) {
+	if l := newAccessLogger(nil, 1, 0); l != nil {
+		t.Fatal("nil writer should produce nil logger")
+	}
+	var l *accessLogger
+	l.log(accessRecord{Status: 500}) // must not panic
+}

@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SLOConfig declares the service objectives the server tracks:
+// availability (fraction of admitted requests answered 200) and latency
+// (fraction of admitted requests finishing under a wall-time target).
+// Both are evaluated as multi-window burn rates — how fast the error
+// budget is being spent over the last 5 minutes and the last hour —
+// which is what distinguishes "a blip" from "an incident" without
+// waiting a month to find out.
+type SLOConfig struct {
+	// Availability is the success-fraction objective (0: 0.99, i.e. 99%
+	// of admitted requests succeed; negative disables SLO tracking
+	// entirely).
+	Availability float64
+	// LatencyObjective is the fraction of requests that must finish
+	// under LatencyTarget (0: 0.95).
+	LatencyObjective float64
+	// LatencyTarget is the wall-time budget a "fast" request finishes
+	// within (0: the server's DefaultDeadline — by default a request is
+	// latency-bad exactly when it risks its deadline).
+	LatencyTarget time.Duration
+}
+
+func (c SLOConfig) withDefaults(defaultDeadline time.Duration) SLOConfig {
+	if c.Availability == 0 {
+		c.Availability = 0.99
+	}
+	if c.LatencyObjective == 0 {
+		c.LatencyObjective = 0.95
+	}
+	if c.LatencyTarget <= 0 {
+		c.LatencyTarget = defaultDeadline
+	}
+	return c
+}
+
+// Burn-rate thresholds (Google SRE workbook, multi-window multi-burn):
+// a 14.4× burn exhausts a 30-day budget in ~2 days — page-worthy when
+// sustained across both the fast and slow window; a 1× burn on the slow
+// window alone is "watch it".
+const (
+	burnFast = 14.4
+	burnSlow = 1.0
+)
+
+// SLO window geometry: a 1h ring of 10s buckets; the 5m fast window is
+// the newest 30 buckets of the same ring.
+const (
+	sloBucketLen   = 10 * time.Second
+	sloRingBuckets = 360
+	sloFastBuckets = 30
+)
+
+// sloBucket accumulates one 10s interval's outcomes.
+type sloBucket struct {
+	epoch int64 // bucket index since the unix epoch; stale slots are skipped
+	good  int64
+	bad   int64
+}
+
+// sloTracker evaluates one objective over the shared ring geometry.
+// Lock-free it is not — one mutex guards the ring — but observe is a
+// few adds on a per-request path that just did seconds of solving.
+type sloTracker struct {
+	name      string
+	objective float64
+
+	mu       sync.Mutex
+	ring     [sloRingBuckets]sloBucket
+	lifeGood int64
+	lifeBad  int64
+}
+
+func newSLOTracker(name string, objective float64) *sloTracker {
+	return &sloTracker{name: name, objective: objective}
+}
+
+func (t *sloTracker) observe(good bool, now time.Time) {
+	epoch := now.UnixNano() / int64(sloBucketLen)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := &t.ring[epoch%sloRingBuckets]
+	if b.epoch != epoch {
+		*b = sloBucket{epoch: epoch}
+	}
+	if good {
+		b.good++
+		t.lifeGood++
+	} else {
+		b.bad++
+		t.lifeBad++
+	}
+}
+
+// window sums the newest n buckets ending at now.
+func (t *sloTracker) window(now time.Time, n int) (good, bad int64) {
+	epoch := now.UnixNano() / int64(sloBucketLen)
+	for i := 0; i < n; i++ {
+		e := epoch - int64(i)
+		b := &t.ring[e%sloRingBuckets]
+		if b.epoch == e {
+			good += b.good
+			bad += b.bad
+		}
+	}
+	return good, bad
+}
+
+// burnRate is badFraction / errorBudget: 1.0 means the budget is being
+// spent exactly as fast as the objective allows; 14.4 means a 30-day
+// budget dies in ~2 days. An idle window burns nothing.
+func burnRate(good, bad int64, objective float64) float64 {
+	total := good + bad
+	if total == 0 {
+		return 0
+	}
+	budget := 1 - objective
+	if budget <= 0 {
+		budget = 1e-9
+	}
+	return (float64(bad) / float64(total)) / budget
+}
+
+// SLOStatus is one objective's public state: rendered on /statusz,
+// embedded in /varz, and exported as thistle_slo_* families.
+type SLOStatus struct {
+	SLO             string  `json:"slo"`
+	Objective       float64 `json:"objective"`
+	TargetMS        int64   `json:"target_ms,omitempty"`
+	Burn5m          float64 `json:"burn_5m"`
+	Burn1h          float64 `json:"burn_1h"`
+	BudgetRemaining float64 `json:"budget_remaining"`
+	State           string  `json:"state"` // "green", "yellow", "red"
+	Good            int64   `json:"good"`
+	Bad             int64   `json:"bad"`
+}
+
+func (t *sloTracker) status(now time.Time) SLOStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g5, b5 := t.window(now, sloFastBuckets)
+	g1, b1 := t.window(now, sloRingBuckets)
+	st := SLOStatus{
+		SLO:       t.name,
+		Objective: t.objective,
+		Burn5m:    burnRate(g5, b5, t.objective),
+		Burn1h:    burnRate(g1, b1, t.objective),
+		Good:      t.lifeGood,
+		Bad:       t.lifeBad,
+	}
+	st.BudgetRemaining = 1 - st.Burn1h
+	if st.BudgetRemaining < 0 {
+		st.BudgetRemaining = 0
+	}
+	if st.BudgetRemaining > 1 {
+		st.BudgetRemaining = 1
+	}
+	// Multi-window logic: red needs BOTH windows burning fast (a
+	// sustained incident, not a blip); yellow is either a fresh fast
+	// burn or a slow window already over budget.
+	switch {
+	case st.Burn5m >= burnFast && st.Burn1h >= burnFast:
+		st.State = "red"
+	case st.Burn5m >= burnFast || st.Burn1h >= burnSlow:
+		st.State = "yellow"
+	default:
+		st.State = "green"
+	}
+	return st
+}
+
+// sloSet is the server's objectives: availability plus latency, sharing
+// one observation point per admitted request.
+type sloSet struct {
+	cfg          SLOConfig
+	availability *sloTracker
+	latency      *sloTracker
+	now          func() time.Time
+}
+
+// newSLOSet builds the trackers, or returns nil when tracking is
+// disabled (negative availability objective).
+func newSLOSet(cfg SLOConfig, defaultDeadline time.Duration, now func() time.Time) *sloSet {
+	if cfg.Availability < 0 {
+		return nil
+	}
+	cfg = cfg.withDefaults(defaultDeadline)
+	if now == nil {
+		now = time.Now
+	}
+	return &sloSet{
+		cfg:          cfg,
+		availability: newSLOTracker("availability", cfg.Availability),
+		latency:      newSLOTracker("latency", cfg.LatencyObjective),
+		now:          now,
+	}
+}
+
+// observe records one admitted request's outcome. Nil-safe, so the
+// request path need not branch on whether tracking is enabled.
+func (s *sloSet) observe(ok bool, wall time.Duration) {
+	if s == nil {
+		return
+	}
+	now := s.now()
+	s.availability.observe(ok, now)
+	// A failed request is also a latency violation: the client did not
+	// get a timely good answer. Counting it keeps the two objectives
+	// consistent under e.g. deadline storms.
+	s.latency.observe(ok && wall <= s.cfg.LatencyTarget, now)
+}
+
+// statuses returns each objective's current state (nil receiver: none).
+func (s *sloSet) statuses() []SLOStatus {
+	if s == nil {
+		return nil
+	}
+	now := s.now()
+	av := s.availability.status(now)
+	lat := s.latency.status(now)
+	lat.TargetMS = s.cfg.LatencyTarget.Milliseconds()
+	return []SLOStatus{av, lat}
+}
+
+// writePrometheus appends the thistle_slo_* families to a /metrics
+// response. These are hand-labeled families (the registry has no label
+// support), emitted in a fixed order so the exposition stays
+// deterministic and grammar-valid.
+func (s *sloSet) writePrometheus(w io.Writer) error {
+	sts := s.statuses()
+	if len(sts) == 0 {
+		return nil
+	}
+	var b []byte
+	appendf := func(format string, args ...any) {
+		b = fmt.Appendf(b, format, args...)
+	}
+	appendf("# HELP thistle_slo_objective Configured objective as a success fraction\n# TYPE thistle_slo_objective gauge\n")
+	for _, st := range sts {
+		appendf("thistle_slo_objective{slo=%q} %g\n", st.SLO, st.Objective)
+	}
+	appendf("# HELP thistle_slo_burn_rate Error budget burn rate over the window (1 = budget spent exactly at objective rate)\n# TYPE thistle_slo_burn_rate gauge\n")
+	for _, st := range sts {
+		appendf("thistle_slo_burn_rate{slo=%q,window=\"5m\"} %g\n", st.SLO, st.Burn5m)
+		appendf("thistle_slo_burn_rate{slo=%q,window=\"1h\"} %g\n", st.SLO, st.Burn1h)
+	}
+	appendf("# HELP thistle_slo_budget_remaining Fraction of the 1h error budget left (0 = exhausted)\n# TYPE thistle_slo_budget_remaining gauge\n")
+	for _, st := range sts {
+		appendf("thistle_slo_budget_remaining{slo=%q} %g\n", st.SLO, st.BudgetRemaining)
+	}
+	appendf("# HELP thistle_slo_status Alert state: 0 green, 1 yellow, 2 red\n# TYPE thistle_slo_status gauge\n")
+	for _, st := range sts {
+		appendf("thistle_slo_status{slo=%q} %d\n", st.SLO, sloStateValue(st.State))
+	}
+	appendf("# HELP thistle_slo_events_total Admitted requests by SLO outcome\n# TYPE thistle_slo_events_total counter\n")
+	for _, st := range sts {
+		appendf("thistle_slo_events_total{slo=%q,outcome=\"good\"} %d\n", st.SLO, st.Good)
+		appendf("thistle_slo_events_total{slo=%q,outcome=\"bad\"} %d\n", st.SLO, st.Bad)
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+func sloStateValue(state string) int {
+	switch state {
+	case "red":
+		return 2
+	case "yellow":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// writeStatusz renders the red/yellow/green SLO block for /statusz.
+func (s *sloSet) writeStatusz(w io.Writer) {
+	sts := s.statuses()
+	if len(sts) == 0 {
+		return
+	}
+	for _, st := range sts {
+		target := ""
+		if st.TargetMS > 0 {
+			target = fmt.Sprintf(" (target %s)", time.Duration(st.TargetMS)*time.Millisecond)
+		}
+		fmt.Fprintf(w, "slo %s: %s — objective %.4g%%%s, burn 5m %.2f / 1h %.2f, budget %.0f%%, %d good / %d bad\n",
+			st.SLO, stateBadge(st.State), 100*st.Objective, target,
+			st.Burn5m, st.Burn1h, 100*st.BudgetRemaining, st.Good, st.Bad)
+	}
+}
+
+func stateBadge(state string) string {
+	switch state {
+	case "red":
+		return "RED"
+	case "yellow":
+		return "YELLOW"
+	default:
+		return "GREEN"
+	}
+}

@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sloClock is a settable clock for burn-rate tests.
+type sloClock struct{ t time.Time }
+
+func (c *sloClock) now() time.Time          { return c.t }
+func (c *sloClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestSLOSet(cfg SLOConfig) (*sloSet, *sloClock) {
+	clk := &sloClock{t: time.Unix(1_700_000_000, 0)}
+	return newSLOSet(cfg, 2*time.Minute, clk.now), clk
+}
+
+func TestSLOGreenWhenHealthy(t *testing.T) {
+	s, clk := newTestSLOSet(SLOConfig{})
+	for i := 0; i < 200; i++ {
+		s.observe(true, 10*time.Millisecond)
+		clk.advance(time.Second)
+	}
+	for _, st := range s.statuses() {
+		if st.State != "green" {
+			t.Errorf("slo %s state = %q, want green (%+v)", st.SLO, st.State, st)
+		}
+		if st.Bad != 0 || st.Good != 200 {
+			t.Errorf("slo %s good/bad = %d/%d, want 200/0", st.SLO, st.Good, st.Bad)
+		}
+		if st.BudgetRemaining != 1 {
+			t.Errorf("slo %s budget = %v, want 1", st.SLO, st.BudgetRemaining)
+		}
+	}
+}
+
+func TestSLORedOnSustainedFailures(t *testing.T) {
+	// 50% failures against a 99% objective is a 50× burn — far over the
+	// 14.4 fast threshold on both windows once sustained.
+	s, clk := newTestSLOSet(SLOConfig{})
+	for i := 0; i < 600; i++ {
+		s.observe(i%2 == 0, 10*time.Millisecond)
+		clk.advance(time.Second)
+	}
+	st := s.statuses()[0] // availability
+	if st.State != "red" {
+		t.Fatalf("state = %q, want red (%+v)", st.State, st)
+	}
+	if st.Burn5m < burnFast || st.Burn1h < burnFast {
+		t.Fatalf("burns = %v/%v, want both >= %v", st.Burn5m, st.Burn1h, burnFast)
+	}
+	if st.BudgetRemaining != 0 {
+		t.Fatalf("budget = %v, want 0", st.BudgetRemaining)
+	}
+}
+
+func TestSLOYellowOnFreshBurst(t *testing.T) {
+	s, clk := newTestSLOSet(SLOConfig{})
+	// An hour of clean traffic...
+	for i := 0; i < 3600; i++ {
+		s.observe(true, 10*time.Millisecond)
+		clk.advance(time.Second)
+	}
+	// ...then a 2-minute total outage: the 5m window burns hot, but the
+	// 1h window has not yet crossed the fast threshold → yellow, not red.
+	for i := 0; i < 120; i++ {
+		s.observe(false, 10*time.Millisecond)
+		clk.advance(time.Second)
+	}
+	st := s.statuses()[0]
+	if st.State != "yellow" {
+		t.Fatalf("state = %q, want yellow (burn 5m %v, 1h %v)", st.State, st.Burn5m, st.Burn1h)
+	}
+	if st.Burn5m < burnFast {
+		t.Fatalf("burn 5m = %v, want >= %v", st.Burn5m, burnFast)
+	}
+	if st.Burn1h >= burnFast {
+		t.Fatalf("burn 1h = %v, want < %v for the yellow case", st.Burn1h, burnFast)
+	}
+}
+
+func TestSLOBurnDecaysAsWindowRolls(t *testing.T) {
+	s, clk := newTestSLOSet(SLOConfig{})
+	for i := 0; i < 60; i++ {
+		s.observe(false, time.Millisecond)
+		clk.advance(time.Second)
+	}
+	hot := s.statuses()[0].Burn5m
+	// 10 minutes of silence pushes the outage out of the 5m window.
+	clk.advance(10 * time.Minute)
+	cold := s.statuses()[0].Burn5m
+	if hot <= 0 {
+		t.Fatalf("burn during outage = %v, want > 0", hot)
+	}
+	if cold != 0 {
+		t.Fatalf("burn 5m after window rolled = %v, want 0", cold)
+	}
+	// The 1h window still remembers.
+	if b := s.statuses()[0].Burn1h; b <= 0 {
+		t.Fatalf("burn 1h = %v, want > 0", b)
+	}
+}
+
+func TestSLOLatencyObjective(t *testing.T) {
+	s, clk := newTestSLOSet(SLOConfig{LatencyTarget: 100 * time.Millisecond})
+	for i := 0; i < 100; i++ {
+		// Success, but half the requests blow the latency target.
+		wall := 10 * time.Millisecond
+		if i%2 == 0 {
+			wall = 500 * time.Millisecond
+		}
+		s.observe(true, wall)
+		clk.advance(time.Second)
+	}
+	sts := s.statuses()
+	if sts[0].SLO != "availability" || sts[1].SLO != "latency" {
+		t.Fatalf("statuses = %v", sts)
+	}
+	if sts[0].Bad != 0 {
+		t.Fatalf("availability bad = %d, want 0", sts[0].Bad)
+	}
+	if sts[1].Bad != 50 || sts[1].Good != 50 {
+		t.Fatalf("latency good/bad = %d/%d, want 50/50", sts[1].Good, sts[1].Bad)
+	}
+	if sts[1].TargetMS != 100 {
+		t.Fatalf("latency target = %dms, want 100", sts[1].TargetMS)
+	}
+	// A failed request is latency-bad even when fast.
+	s.observe(false, time.Millisecond)
+	if got := s.statuses()[1].Bad; got != 51 {
+		t.Fatalf("latency bad after failure = %d, want 51", got)
+	}
+}
+
+func TestSLODisabled(t *testing.T) {
+	s, _ := newTestSLOSet(SLOConfig{Availability: -1})
+	if s != nil {
+		t.Fatal("negative availability should disable tracking")
+	}
+	s.observe(true, time.Millisecond) // nil-safe
+	if got := s.statuses(); got != nil {
+		t.Fatalf("statuses on nil set = %v", got)
+	}
+	var sb strings.Builder
+	s.writeStatusz(&sb)
+	if err := s.writePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil set wrote %q (err %v)", sb.String(), err)
+	}
+}
+
+func TestSLOPrometheusAndStatuszRendering(t *testing.T) {
+	s, clk := newTestSLOSet(SLOConfig{})
+	s.observe(true, time.Millisecond)
+	s.observe(false, time.Millisecond)
+	clk.advance(time.Second)
+
+	var prom strings.Builder
+	if err := s.writePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`thistle_slo_objective{slo="availability"} 0.99`,
+		`thistle_slo_burn_rate{slo="availability",window="5m"}`,
+		`thistle_slo_burn_rate{slo="latency",window="1h"}`,
+		`thistle_slo_budget_remaining{slo="availability"}`,
+		`thistle_slo_status{slo="availability"}`,
+		`thistle_slo_events_total{slo="availability",outcome="good"} 1`,
+		`thistle_slo_events_total{slo="availability",outcome="bad"} 1`,
+	} {
+		if !strings.Contains(prom.String(), want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, prom.String())
+		}
+	}
+
+	var statusz strings.Builder
+	s.writeStatusz(&statusz)
+	if !strings.Contains(statusz.String(), "slo availability:") ||
+		!strings.Contains(statusz.String(), "slo latency:") {
+		t.Fatalf("statusz block missing slo lines:\n%s", statusz.String())
+	}
+}

@@ -3,38 +3,20 @@
 // benchmark with ns/op, B/op, allocs/op, and any custom ReportMetric
 // units, stamped with the date, Go version, and GOMAXPROCS suffix.
 // scripts/bench.sh pipes the tier-1 cache benchmarks through it to
-// produce BENCH_<date>.json at the repo root.
+// produce BENCH_<date>.json at the repo root; `tlreport bench` compares
+// the points it writes (both sides of that contract live in
+// internal/benchfmt).
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
-	"strconv"
-	"strings"
 	"time"
+
+	"repro/internal/benchfmt"
 )
-
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name       string             `json:"name"`
-	Procs      int                `json:"procs,omitempty"`
-	Iterations int64              `json:"iterations"`
-	NSPerOp    float64            `json:"ns_per_op"`
-	BytesPerOp float64            `json:"b_per_op,omitempty"`
-	AllocsOp   float64            `json:"allocs_per_op,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Point is the whole trajectory point.
-type Point struct {
-	Schema     string      `json:"schema"`
-	Date       string      `json:"date"`
-	GoVersion  string      `json:"go_version"`
-	Benchmarks []Benchmark `json:"benchmarks"`
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -44,28 +26,17 @@ func main() {
 }
 
 func run() error {
-	point := Point{
-		Schema:    "thistle-bench-v1",
+	point := benchfmt.Point{
+		Schema:    benchfmt.Schema,
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 	}
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		// Echo the raw output so bench.sh stays readable when piped.
-		fmt.Fprintln(os.Stderr, line)
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		b, ok := parseLine(line)
-		if ok {
-			point.Benchmarks = append(point.Benchmarks, b)
-		}
-	}
-	if err := sc.Err(); err != nil {
+	// Echo the raw output to stderr so bench.sh stays readable when piped.
+	bs, err := benchfmt.ParseOutput(os.Stdin, os.Stderr)
+	if err != nil {
 		return err
 	}
+	point.Benchmarks = bs
 	if len(point.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
@@ -81,48 +52,4 @@ func run() error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(point)
-}
-
-// parseLine decodes one `go test -bench` result line: the name (with a
-// -N GOMAXPROCS suffix), the iteration count, then (value, unit) pairs.
-func parseLine(line string) (Benchmark, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Benchmark{}, false
-	}
-	name := fields[0]
-	var b Benchmark
-	if i := strings.LastIndex(name, "-"); i > 0 {
-		if procs, err := strconv.Atoi(name[i+1:]); err == nil {
-			b.Procs = procs
-			name = name[:i]
-		}
-	}
-	b.Name = name
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Benchmark{}, false
-	}
-	b.Iterations = iters
-	b.Metrics = map[string]float64{}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			return Benchmark{}, false
-		}
-		switch unit := fields[i+1]; unit {
-		case "ns/op":
-			b.NSPerOp = v
-		case "B/op":
-			b.BytesPerOp = v
-		case "allocs/op":
-			b.AllocsOp = v
-		default:
-			b.Metrics[unit] = v
-		}
-	}
-	if len(b.Metrics) == 0 {
-		b.Metrics = nil
-	}
-	return b, true
 }

@@ -12,9 +12,12 @@
 # the schema, a tlreport self-diff must come back regression-free, and
 # the Chrome trace file must parse and report a critical path
 # (`tlreport trace`). A final serve gate boots thistled on a random
-# port (scripts/servecheck), POSTs the same layer, and diffs the
-# server-side manifest against the CLI's — the two must agree exactly —
-# before asserting a clean SIGTERM drain. Equivalent to `make check`.
+# port (scripts/servecheck), POSTs the same layer with a client
+# request ID, verifies the ID joins the manifest, trace, and access
+# log, probes the telemetry surface (/metrics SLO families, /varz,
+# a tlmon -once frame), and diffs the server-side manifest against the
+# CLI's — the two must agree exactly — before asserting a clean SIGTERM
+# drain. Equivalent to `make check`.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -64,9 +67,10 @@ echo "== e2e trace gate (tlreport trace on the captured Chrome trace)"
     -manifest "$tmp/notrace.manifest.json" >/dev/null
 "$tmp/tlreport" diff -wall-tol 1e9 "$tmp/run.manifest.json" "$tmp/notrace.manifest.json"
 
-echo "== e2e serve gate (thistled vs thistle CLI, graceful drain)"
+echo "== e2e serve gate (thistled vs thistle CLI, telemetry, graceful drain)"
 go build -o "$tmp/thistled" ./cmd/thistled
-go run ./scripts/servecheck "$tmp/thistled" "$tmp"
+go build -o "$tmp/tlmon" ./cmd/tlmon
+go run ./scripts/servecheck "$tmp/thistled" "$tmp" "$tmp/tlmon"
 # The server and the CLI optimized the same layer through the same
 # pipeline; their per-layer results must agree exactly (wall time is
 # the only legitimate difference).

@@ -2,10 +2,16 @@
 // starts the daemon on a random port, POSTs a small optimize request,
 // saves the returned manifest (so the caller can tlreport-diff it
 // against a CLI run of the same layer), asserts that a repeated request
-// is served from the shared cache, probes the health surface, and
+// is served from the shared cache, verifies the request-ID join (the
+// X-Request-ID the client sent must reappear verbatim in the response
+// header, the manifest, the Chrome trace, and the access log), probes
+// the health and telemetry surface (/metrics, /statusz, /varz), and
 // finally SIGTERMs the daemon expecting a clean graceful-drain exit.
 //
-//	servecheck <thistled-binary> <outdir>
+//	servecheck <thistled-binary> <outdir> [tlmon-binary]
+//
+// When a tlmon binary is given, it is run with -once against the live
+// daemon and its frame must render the qps and slo blocks.
 //
 // On success the returned manifest is written to
 // <outdir>/server.manifest.json and the process exits 0; any protocol,
@@ -27,19 +33,28 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: servecheck <thistled-binary> <outdir>")
+	if len(os.Args) != 3 && len(os.Args) != 4 {
+		fmt.Fprintln(os.Stderr, "usage: servecheck <thistled-binary> <outdir> [tlmon-binary]")
 		os.Exit(2)
 	}
-	if err := run(os.Args[1], os.Args[2]); err != nil {
+	tlmon := ""
+	if len(os.Args) == 4 {
+		tlmon = os.Args[3]
+	}
+	if err := run(os.Args[1], os.Args[2], tlmon); err != nil {
 		fmt.Fprintln(os.Stderr, "servecheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(binary, outdir string) error {
+func run(binary, outdir, tlmon string) error {
+	if err := os.MkdirAll(outdir, 0o755); err != nil {
+		return err
+	}
+	accessLog := filepath.Join(outdir, "access.log")
 	cmd := exec.Command(binary, "-addr", "127.0.0.1:0", "-cache", "-v", "warn",
-		"-spool-dir", filepath.Join(outdir, "spool"))
+		"-spool-dir", filepath.Join(outdir, "spool"),
+		"-access-log", accessLog)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		return err
@@ -75,8 +90,16 @@ func run(binary, outdir string) error {
 		}
 	}()
 
-	post := func(body string) (*http.Response, []byte, error) {
-		resp, err := http.Post(base+"/v1/optimize", "application/json", strings.NewReader(body))
+	post := func(body, reqID string) (*http.Response, []byte, error) {
+		req, err := http.NewRequest("POST", base+"/v1/optimize", strings.NewReader(body))
+		if err != nil {
+			return nil, nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if reqID != "" {
+			req.Header.Set("X-Request-ID", reqID)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -85,18 +108,24 @@ func run(binary, outdir string) error {
 		return resp, data, err
 	}
 
-	const reqBody = `{"layer": "resnet18_L12"}`
-	resp, data, err := post(reqBody)
+	// The first request carries a client request ID and asks for a trace,
+	// so the ID join (header echo → manifest → trace) can be verified.
+	const clientReqID = "servecheck-req-1"
+	resp, data, err := post(`{"layer": "resnet18_L12", "trace": true}`, clientReqID)
 	if err != nil {
 		return fmt.Errorf("POST /v1/optimize: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("optimize status %d: %s", resp.StatusCode, data)
 	}
+	if got := resp.Header.Get("X-Request-ID"); got != clientReqID {
+		return fmt.Errorf("X-Request-ID echoed as %q, want %q", got, clientReqID)
+	}
 	var out struct {
 		RunID    string            `json:"run_id"`
 		Results  []json.RawMessage `json:"results"`
 		Manifest json.RawMessage   `json:"manifest"`
+		Trace    json.RawMessage   `json:"trace"`
 	}
 	if err := json.Unmarshal(data, &out); err != nil {
 		return fmt.Errorf("decoding optimize response: %w", err)
@@ -104,13 +133,33 @@ func run(binary, outdir string) error {
 	if out.RunID == "" || len(out.Results) != 1 || len(out.Manifest) == 0 {
 		return fmt.Errorf("incomplete optimize response: %s", data)
 	}
+	var manifest struct {
+		RequestID string `json:"request_id"`
+	}
+	if err := json.Unmarshal(out.Manifest, &manifest); err != nil {
+		return fmt.Errorf("decoding manifest: %w", err)
+	}
+	if manifest.RequestID != clientReqID {
+		return fmt.Errorf("manifest request_id %q, want %q", manifest.RequestID, clientReqID)
+	}
+	var trace struct {
+		OtherData struct {
+			RequestID string `json:"request_id"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(out.Trace, &trace); err != nil {
+		return fmt.Errorf("decoding trace: %w", err)
+	}
+	if trace.OtherData.RequestID != clientReqID {
+		return fmt.Errorf("trace otherData.request_id %q, want %q", trace.OtherData.RequestID, clientReqID)
+	}
 	manPath := filepath.Join(outdir, "server.manifest.json")
 	if err := os.WriteFile(manPath, append(out.Manifest, '\n'), 0o644); err != nil {
 		return err
 	}
 
 	// A repeated request must be a cache hit: fresh_solves drops to 0.
-	resp, data, err = post(reqBody)
+	resp, data, err = post(`{"layer": "resnet18_L12"}`, "")
 	if err != nil {
 		return fmt.Errorf("second POST /v1/optimize: %w", err)
 	}
@@ -129,15 +178,51 @@ func run(binary, outdir string) error {
 		return fmt.Errorf("repeated request not served from the shared cache: %s", data)
 	}
 
-	// Health surface: healthz says ok, metrics exposes the serve.* family.
+	// Health and telemetry surface: healthz says ok, metrics exposes the
+	// serve.* and SLO families, statusz shows the SLO block, varz serves
+	// a schema-tagged time-series snapshot.
 	if err := expectGet(base+"/v1/healthz", "ok"); err != nil {
 		return err
 	}
 	if err := expectGet(base+"/metrics", "thistle_serve_requests_total"); err != nil {
 		return err
 	}
+	if err := expectGet(base+"/metrics", "thistle_slo_burn_rate"); err != nil {
+		return err
+	}
 	if err := expectGet(base+"/statusz", "thistled serving"); err != nil {
 		return err
+	}
+	if err := expectGet(base+"/statusz", "slo availability"); err != nil {
+		return err
+	}
+	if err := expectGet(base+"/varz", "thistle-timeseries-v1"); err != nil {
+		return err
+	}
+
+	// The access log must hold a line for the identified request: the
+	// same ID the client sent, joined to the run.
+	logData, err := os.ReadFile(accessLog)
+	if err != nil {
+		return fmt.Errorf("reading access log: %w", err)
+	}
+	if !strings.Contains(string(logData), clientReqID) {
+		return fmt.Errorf("access log %s has no line for request %q:\n%s", accessLog, clientReqID, logData)
+	}
+
+	// The dashboard's scripting mode must render a frame off the live
+	// daemon: one fetch of /varz, qps and slo blocks present, exit 0.
+	if tlmon != "" {
+		monOut, err := exec.Command(tlmon, "-addr", base, "-once").CombinedOutput()
+		if err != nil {
+			return fmt.Errorf("tlmon -once: %w\n%s", err, monOut)
+		}
+		for _, needle := range []string{"qps", "slo"} {
+			if !strings.Contains(string(monOut), needle) {
+				return fmt.Errorf("tlmon frame missing %q:\n%s", needle, monOut)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "servecheck: tlmon frame ok\n")
 	}
 
 	// Graceful drain: SIGTERM must produce a clean exit 0.
