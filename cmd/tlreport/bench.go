@@ -58,7 +58,13 @@ func runBench(args []string) int {
 		fmt.Println("REGRESSED")
 		return 2
 	}
-	fmt.Println("ok")
+	if skipped := benchfmt.CountSkipped(gate); skipped > 0 {
+		// A skip is not a pass: say which comparisons never happened.
+		fmt.Printf("ok (%d benchmark(s) SKIPPED: missing in %s, not compared)\n",
+			skipped, points[len(points)-1].Date)
+	} else {
+		fmt.Println("ok")
+	}
 	return 0
 }
 
@@ -66,6 +72,10 @@ func writeDeltas(w *os.File, deltas []benchfmt.Delta) error {
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\tdim\told\tnew\tdelta\t")
 	for _, d := range deltas {
+		if d.Skipped {
+			fmt.Fprintf(tw, "%s\t—\t\t\tSKIPPED (missing in new)\t\n", d.Name)
+			continue
+		}
 		if d.OnlyIn != "" {
 			fmt.Fprintf(tw, "%s\t—\t\t\tonly in %s\t\n", d.Name, d.OnlyIn)
 			continue

@@ -1,20 +1,43 @@
 // Command tlvet runs the Thistle static-analysis suite over the
-// module: project-specific invariants (event schema conformance,
-// posynomial coefficient positivity, float comparison discipline,
-// nil-receiver safety, dropped errors) that go vet cannot check.
+// module: project-specific invariants that go vet cannot check, from
+// event-schema conformance up to flow-aware determinism and
+// concurrency discipline on a module-wide callgraph.
+//
+// The analyzers and their one-line invariants:
+//
+//	ctxprop     ctx-receiving functions must not call context.Background/TODO or drop ctx when a Context variant exists
+//	droppederr  error results must be consumed, not discarded
+//	eventfields emitted thistle-events-v1 fields must match the registered schema
+//	floateq     solver code must not compare floats with == / !=
+//	goscheduler go statements in internal/ must be Scheduler-internal, WaitGroup-scoped, or carry a reasoned suppression
+//	lockguard   fields annotated `guarded by <mu>` must only be accessed with that mutex held
+//	maprange    map iteration must not feed Emit/serialization/printing or unsorted slice appends
+//	nilrecv     obs helpers must stay nil-receiver-safe
+//	posycoef    posynomial coefficients must be constructed positive
+//	stagedep    pipeline stages must declare their data dependencies
+//	wallclock   no wall-clock reads reachable from solver/gp/pipeline/core solve paths outside the obs allowlist
 //
 // Usage:
 //
-//	tlvet [-only names] [-skip names] [-json] [-list] [dir]
+//	tlvet [-only names] [-skip names] [-format text|json|sarif] [-json]
+//	      [-baseline file] [-write-baseline file] [-list] [dir]
 //
 // dir (default ".") may be any directory inside the module; the whole
-// module is always analyzed. Exit status is 1 if any findings are
-// reported, 2 on usage or load errors, 0 otherwise. Findings print as
+// module is always analyzed. Exit status is 1 if any findings survive
+// suppression and the baseline, 2 on usage or load errors, 0
+// otherwise. The text format prints findings as
 //
 //	file:line: [analyzer] message
 //
-// and can be suppressed per line with
-// `//tlvet:ignore <analyzer> -- <reason>`.
+// -format json emits a JSON array (-json is an alias); -format sarif
+// emits a SARIF 2.1.0 log with module-root-relative URIs, suitable for
+// code-review ingestion and validated by scripts/sarifcheck.
+//
+// Findings are suppressed per line with
+// `//tlvet:ignore <analyzer>[, <analyzer>] -- <reason>` (per file with
+// //tlvet:ignore-file), or tolerated as committed debt via the
+// baseline: -baseline applies the ledger (stale entries are themselves
+// findings), -write-baseline regenerates it from the current run.
 package main
 
 import (
@@ -31,7 +54,10 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	skip := flag.String("skip", "", "comma-separated analyzer names to disable")
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	format := flag.String("format", "", "output format: text (default), json, or sarif")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (alias for -format json)")
+	baselinePath := flag.String("baseline", "", "apply the baseline ledger at this path; stale entries are findings")
+	writeBaseline := flag.String("write-baseline", "", "write the current findings as a baseline to this path and exit")
 	list := flag.Bool("list", false, "list analyzers and exit")
 	flag.Parse()
 
@@ -41,6 +67,16 @@ func main() {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+
+	switch {
+	case *format == "" && *jsonOut:
+		*format = "json"
+	case *format == "":
+		*format = "text"
+	case *format != "text" && *format != "json" && *format != "sarif":
+		fmt.Fprintf(os.Stderr, "tlvet: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 
 	enabled, err := selectAnalyzers(analyzers, *only, *skip)
@@ -53,6 +89,11 @@ func main() {
 	if flag.NArg() > 0 {
 		dir = flag.Arg(0)
 	}
+	root, err := analysis.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
+		os.Exit(2)
+	}
 	pkgs, err := analysis.LoadModule(dir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
@@ -60,7 +101,32 @@ func main() {
 	}
 
 	findings := analysis.Run(pkgs, enabled, checks.Names())
-	if *jsonOut {
+
+	if *writeBaseline != "" {
+		if err := analysis.NewBaseline(findings, root).Write(*writeBaseline); err != nil {
+			fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "tlvet: wrote %d baseline entr%s to %s\n",
+			len(findings), plural(len(findings), "y", "ies"), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		base, err := analysis.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
+			os.Exit(2)
+		}
+		kept, suppressed, stale := base.Apply(findings, root)
+		findings = append(kept, analysis.StaleFindings(stale, *baselinePath)...)
+		if suppressed > 0 && *format == "text" {
+			fmt.Fprintf(os.Stderr, "tlvet: %d finding(s) tolerated by %s\n", suppressed, *baselinePath)
+		}
+	}
+
+	switch *format {
+	case "json":
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -70,17 +136,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
 			os.Exit(2)
 		}
-	} else {
+	case "sarif":
+		if err := analysis.WriteSARIF(os.Stdout, findings, analyzers, root); err != nil {
+			fmt.Fprintf(os.Stderr, "tlvet: %v\n", err)
+			os.Exit(2)
+		}
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}
 	}
 	if len(findings) > 0 {
-		if !*jsonOut {
+		if *format == "text" {
 			fmt.Fprintf(os.Stderr, "tlvet: %d finding(s)\n", len(findings))
 		}
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 func selectAnalyzers(all []*analysis.Analyzer, only, skip string) ([]*analysis.Analyzer, error) {

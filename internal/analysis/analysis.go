@@ -2,8 +2,8 @@
 // cmd/tlvet. It loads every package in the module with go/parser and
 // go/types and runs a suite of Thistle-specific analyzers over the
 // typed ASTs — checks that encode invariants go vet cannot know about,
-// such as the thistle-events-v1 field schema or the positivity rule for
-// posynomial coefficients.
+// such as the thistle-events-v1 field schema, the positivity rule for
+// posynomial coefficients, or the solve path's wall-clock ban.
 //
 // The framework deliberately mirrors the shape of golang.org/x/tools'
 // analysis package (Analyzer, Pass, Reportf) so the checks would port
@@ -12,12 +12,26 @@
 // importer for the standard library and a recursive source loader for
 // module-internal imports.
 //
-// Findings can be suppressed line-by-line with
+// Beyond per-package syntax walks, every Pass carries a Module: the
+// static callgraph over all loaded packages with one FuncNode summary
+// per function declaration. Module.Transitive propagates facts such as
+// "reads the wall clock" caller-ward through that graph (stopping at
+// analyzer-defined barrier functions) and reconstructs witness chains
+// for diagnostics, so flow-aware analyzers (wallclock, goscheduler,
+// ctxprop) can reason past the current package's boundary.
 //
-//	//tlvet:ignore <analyzer> -- <reason>
+// Findings can be suppressed with
 //
-// on the offending line or the line directly above it. The reason is
-// mandatory; a bare suppression is itself a finding.
+//	//tlvet:ignore <analyzer>[, <analyzer>...] -- <reason>
+//
+// on the offending line or the line directly above it, or for a whole
+// file with //tlvet:ignore-file at any comment position in it. The
+// reason is mandatory and the analyzer names must exist; a bare or
+// misspelled suppression is itself a finding. The driver additionally
+// applies the committed baseline ledger (.tlvet-baseline.json, see
+// Baseline): entries absorb known findings for burn-down, and entries
+// that no longer match anything are reported as stale. Findings render
+// as text, JSON, or SARIF 2.1.0 (BuildSARIF).
 package analysis
 
 import (
@@ -44,6 +58,11 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	// Module is the cross-package view of the run: every loaded
+	// package, the static callgraph over them, and the Transitive fact
+	// machinery. Flow-aware analyzers (wallclock, goscheduler) consult
+	// it to reason past the current package's boundary.
+	Module *Module
 
 	findings *[]Finding
 }
@@ -98,11 +117,12 @@ func (f Finding) String() string {
 // subset) so that -only runs don't misreport ignores of disabled
 // analyzers as unknown.
 func Run(pkgs []*Package, analyzers []*Analyzer, knownNames map[string]bool) []Finding {
+	module := BuildModule(pkgs)
 	var out []Finding
 	for _, pkg := range pkgs {
 		var findings []Finding
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, findings: &findings}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Module: module, findings: &findings}
 			a.Run(pass)
 		}
 		ig := collectIgnores(pkg, knownNames)

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is the committed debt ledger for tlvet: findings recorded
+// in it are suppressed (so a new analyzer can land before every
+// pre-existing hit is fixed) and burned down over time. Two properties
+// keep it honest:
+//
+//   - entries are keyed by (analyzer, file, message) with an occurrence
+//     count, never by line number, so unrelated edits shifting code
+//     down a file do not churn the ledger;
+//   - an entry that no longer matches any finding is STALE, and
+//     staleness is itself reported as a finding — the ledger can only
+//     shrink in step with reality, never rot.
+
+// BaselineSchema tags the on-disk format; a mismatched tag refuses to
+// load rather than silently suppressing the wrong findings.
+const BaselineSchema = "tlvet-baseline-v1"
+
+// A BaselineEntry records one tolerated finding signature.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	// File is module-root-relative with forward slashes.
+	File    string `json:"file"`
+	Message string `json:"message"`
+	// Count is how many identical findings the entry tolerates
+	// (identical messages can legitimately recur in one file).
+	Count int `json:"count"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.Analyzer + "\x00" + e.File + "\x00" + e.Message
+}
+
+// A Baseline is the parsed ledger.
+type Baseline struct {
+	Schema  string          `json:"schema"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Schema != BaselineSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, b.Schema, BaselineSchema)
+	}
+	return &b, nil
+}
+
+// NewBaseline builds the ledger that would suppress exactly the given
+// findings, with files relativized against root and entries in
+// deterministic order.
+func NewBaseline(findings []Finding, root string) *Baseline {
+	counts := make(map[BaselineEntry]int)
+	for _, f := range findings {
+		counts[BaselineEntry{Analyzer: f.Analyzer, File: relURI(root, f.File), Message: f.Message}]++
+	}
+	b := &Baseline{Schema: BaselineSchema, Entries: make([]BaselineEntry, 0, len(counts))}
+	for e, n := range counts {
+		e.Count = n
+		b.Entries = append(b.Entries, e)
+	}
+	sort.Slice(b.Entries, func(i, j int) bool { return b.Entries[i].key() < b.Entries[j].key() })
+	return b
+}
+
+// Write renders the ledger as indented JSON to path (atomically enough
+// for a source tree: truncate-and-write).
+func (b *Baseline) Write(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Apply partitions findings against the ledger: kept are the findings
+// the baseline does not cover (each entry absorbs up to Count matches),
+// suppressed counts the absorbed ones, and stale lists entries that
+// matched nothing at all — dead weight that the stale gate turns into
+// its own findings.
+func (b *Baseline) Apply(findings []Finding, root string) (kept []Finding, suppressed int, stale []BaselineEntry) {
+	remaining := make(map[string]int, len(b.Entries))
+	matched := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		remaining[e.key()] += e.Count
+	}
+	for _, f := range findings {
+		key := BaselineEntry{Analyzer: f.Analyzer, File: relURI(root, f.File), Message: f.Message}.key()
+		if remaining[key] > 0 {
+			remaining[key]--
+			matched[key] = true
+			suppressed++
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for _, e := range b.Entries {
+		if !matched[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return kept, suppressed, stale
+}
+
+// StaleFindings renders stale entries as driver findings so a rotted
+// ledger fails the same gate as a real regression.
+func StaleFindings(stale []BaselineEntry, baselinePath string) []Finding {
+	var out []Finding
+	for _, e := range stale {
+		out = append(out, Finding{
+			Analyzer: "baseline",
+			Message: fmt.Sprintf("stale baseline entry: [%s] %q no longer fires in %s — remove it from %s",
+				e.Analyzer, truncateMessage(e.Message), e.File, filepath.Base(baselinePath)),
+			File: e.File,
+			Line: 1,
+		})
+	}
+	return out
+}
+
+func truncateMessage(msg string) string {
+	const max = 80
+	if len(msg) <= max {
+		return msg
+	}
+	return strings.TrimSpace(msg[:max]) + "..."
+}

@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "wallclock", Message: "reads the clock", File: "/mod/internal/a.go", Line: 5},
+		{Analyzer: "wallclock", Message: "reads the clock", File: "/mod/internal/a.go", Line: 99},
+		{Analyzer: "maprange", Message: "unsorted", File: "/mod/internal/b.go", Line: 7},
+	}
+	b := NewBaseline(findings, "/mod")
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (identical findings collapse with Count)", len(b.Entries))
+	}
+
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	kept, suppressed, stale := loaded.Apply(findings, "/mod")
+	if len(kept) != 0 || suppressed != 3 || len(stale) != 0 {
+		t.Errorf("Apply(same findings) = kept %d, suppressed %d, stale %d; want 0, 3, 0",
+			len(kept), suppressed, len(stale))
+	}
+}
+
+// TestBaselineLineShiftInsensitive: entries carry no line numbers, so
+// code moving within a file does not churn the ledger.
+func TestBaselineLineShiftInsensitive(t *testing.T) {
+	orig := []Finding{{Analyzer: "wallclock", Message: "reads the clock", File: "/mod/a.go", Line: 5}}
+	b := NewBaseline(orig, "/mod")
+	shifted := []Finding{{Analyzer: "wallclock", Message: "reads the clock", File: "/mod/a.go", Line: 50}}
+	kept, suppressed, stale := b.Apply(shifted, "/mod")
+	if len(kept) != 0 || suppressed != 1 || len(stale) != 0 {
+		t.Errorf("line shift broke matching: kept %d, suppressed %d, stale %d", len(kept), suppressed, len(stale))
+	}
+}
+
+// TestBaselineCountOverflow: an entry absorbs only Count occurrences;
+// the N+1th identical finding is a regression, not tolerated debt.
+func TestBaselineCountOverflow(t *testing.T) {
+	f := Finding{Analyzer: "wallclock", Message: "reads the clock", File: "/mod/a.go"}
+	b := NewBaseline([]Finding{f}, "/mod")
+	kept, suppressed, _ := b.Apply([]Finding{f, f}, "/mod")
+	if suppressed != 1 || len(kept) != 1 {
+		t.Errorf("count overflow: suppressed %d kept %d, want 1 and 1", suppressed, len(kept))
+	}
+}
+
+func TestBaselineStale(t *testing.T) {
+	b := &Baseline{Schema: BaselineSchema, Entries: []BaselineEntry{
+		{Analyzer: "wallclock", File: "internal/a.go", Message: "fixed long ago", Count: 1},
+		{Analyzer: "maprange", File: "internal/b.go", Message: "still firing", Count: 1},
+	}}
+	live := []Finding{{Analyzer: "maprange", Message: "still firing", File: "/mod/internal/b.go"}}
+	kept, suppressed, stale := b.Apply(live, "/mod")
+	if len(kept) != 0 || suppressed != 1 {
+		t.Errorf("kept %d suppressed %d, want 0 and 1", len(kept), suppressed)
+	}
+	if len(stale) != 1 || stale[0].Analyzer != "wallclock" {
+		t.Fatalf("stale = %+v, want the wallclock entry", stale)
+	}
+	fs := StaleFindings(stale, "/mod/.tlvet-baseline.json")
+	if len(fs) != 1 || fs[0].Analyzer != "baseline" ||
+		!strings.Contains(fs[0].Message, "no longer fires") {
+		t.Errorf("stale findings = %+v", fs)
+	}
+}
+
+func TestBaselineSchemaGate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	b := &Baseline{Schema: "tlvet-baseline-v999"}
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("LoadBaseline accepted wrong schema: err = %v", err)
+	}
+}
+
+func TestBaselineDeterministicOrder(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "z", Message: "m", File: "/mod/z.go"},
+		{Analyzer: "a", Message: "m", File: "/mod/a.go"},
+		{Analyzer: "a", Message: "m", File: "/mod/a.go"},
+	}
+	b1 := NewBaseline(findings, "/mod")
+	b2 := NewBaseline([]Finding{findings[2], findings[0], findings[1]}, "/mod")
+	if len(b1.Entries) != len(b2.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(b1.Entries), len(b2.Entries))
+	}
+	for i := range b1.Entries {
+		if b1.Entries[i] != b2.Entries[i] {
+			t.Errorf("entry %d differs across input orders: %+v vs %+v", i, b1.Entries[i], b2.Entries[i])
+		}
+	}
+}

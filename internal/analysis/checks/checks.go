@@ -14,12 +14,17 @@ import (
 // All returns the full analyzer suite in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		CtxProp,
 		DroppedErr,
 		EventFields,
 		FloatEq,
+		GoScheduler,
+		LockGuard,
+		MapRange,
 		NilRecv,
 		PosyCoef,
 		StageDep,
+		WallClock,
 	}
 }
 
@@ -34,17 +39,10 @@ func Names() map[string]bool {
 }
 
 // calleeFunc resolves a call's static callee, or nil for calls through
-// function values, builtins, and type conversions.
+// function values, builtins, and type conversions. It is the
+// per-expression twin of the callgraph's analysis.StaticCallee.
 func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		f, _ := info.Uses[fun].(*types.Func)
-		return f
-	case *ast.SelectorExpr:
-		f, _ := info.Uses[fun.Sel].(*types.Func)
-		return f
-	}
-	return nil
+	return analysis.StaticCallee(info, call)
 }
 
 // underBasic returns the underlying *types.Basic of t, or nil.

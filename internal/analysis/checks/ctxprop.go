@@ -1,0 +1,114 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// CtxProp enforces context propagation: a function that receives a
+// context.Context carries its caller's deadline, cancellation, and the
+// attached Obs/Scheduler values, so it must not sever that chain.
+// Two severances are flagged inside ctx-receiving functions:
+//
+//   - calling context.Background() or context.TODO(): a fresh root
+//     context silently drops the request deadline and the shared
+//     scheduler, which is exactly how an "admission-controlled" solve
+//     escapes its bound;
+//   - calling the context-free variant F of a module-internal function
+//     when the same package exports FContext (the repo's naming
+//     convention, e.g. core.Optimize / core.OptimizeContext): the
+//     callee will mint its own Background internally.
+var CtxProp = &analysis.Analyzer{
+	Name: "ctxprop",
+	Doc:  "ctx-receiving functions must not call context.Background/TODO or drop ctx when a Context variant exists",
+	Run:  runCtxProp,
+}
+
+func runCtxProp(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !receivesContext(info, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO"):
+					pass.Reportf(call.Pos(),
+						"%s receives a context but calls context.%s; a fresh root drops the caller's deadline and attached values — derive from ctx instead",
+						fd.Name.Name, fn.Name())
+				case droppedCtxVariant(fn):
+					pass.Reportf(call.Pos(),
+						"%s receives a context but calls %s.%s, dropping it; use %s.%sContext(ctx, ...)",
+						fd.Name.Name, fn.Pkg().Name(), fn.Name(), fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			})
+		}
+	}
+}
+
+// receivesContext reports whether fd declares a context.Context
+// parameter (the receiver does not count).
+func receivesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(info.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// droppedCtxVariant reports whether fn is a module-internal function
+// with no Context parameter whose package also exports fn.Name() +
+// "Context" taking one.
+func droppedCtxVariant(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || !strings.HasPrefix(pkg.Path(), "repro/") {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil || signatureTakesContext(sig) {
+		return false
+	}
+	variant, ok := pkg.Scope().Lookup(fn.Name() + "Context").(*types.Func)
+	if !ok {
+		return false
+	}
+	vsig, ok := variant.Type().(*types.Signature)
+	return ok && signatureTakesContext(vsig)
+}
+
+func signatureTakesContext(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

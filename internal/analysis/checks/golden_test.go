@@ -29,6 +29,11 @@ func TestGolden(t *testing.T) {
 		{StageDep, "stagedep", "repro/internal/pipeline/testfixture"},
 		{StageDep, "servedep", "repro/internal/serve/testfixture"},
 		{StageDep, "serveimport", "repro/internal/experiments/testfixture"},
+		{WallClock, "wallclock", "repro/internal/solver/testfixture"},
+		{MapRange, "maprange", "repro/internal/analysis/checks/testdata/maprange"},
+		{LockGuard, "lockguard", "repro/internal/analysis/checks/testdata/lockguard"},
+		{CtxProp, "ctxprop", "repro/internal/analysis/checks/testdata/ctxprop"},
+		{GoScheduler, "goscheduler", "repro/internal/pipeline/testfixture"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {

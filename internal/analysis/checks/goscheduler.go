@@ -1,0 +1,139 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// GoScheduler enforces goroutine discipline in the library layers
+// (repro/internal/...): concurrency there must be structured. PR 5
+// replaced ad-hoc goroutine pools with the one bounded
+// pipeline.Scheduler precisely so total parallelism has a single
+// admission bound; a stray `go` statement reintroduces unbounded,
+// unaccounted concurrency that neither the scheduler's gauges nor the
+// -parallel flag can see.
+//
+// A `go` statement in internal/ is accepted when it is:
+//
+//   - part of the Scheduler's own implementation
+//     (repro/internal/pipeline, method of *Scheduler), or
+//   - scoped by a sync.WaitGroup in the same enclosing function — an
+//     Add before the spawn and a Wait on the same WaitGroup object, the
+//     structured fan-out/fan-in shape — or
+//   - covered by a //tlvet:ignore goscheduler directive whose reason
+//     explains the goroutine's lifecycle (long-lived service loops
+//     owned by a Close/Drain path are the expected case).
+//
+// Commands (repro/cmd/...) are exempt: main owns its own lifetime.
+var GoScheduler = &analysis.Analyzer{
+	Name: "goscheduler",
+	Doc:  "go statements in internal/ must be Scheduler-internal, WaitGroup-scoped, or carry a reasoned suppression",
+	Run:  runGoScheduler,
+}
+
+func runGoScheduler(pass *analysis.Pass) {
+	if !strings.HasPrefix(pass.Path(), "repro/internal/") {
+		return
+	}
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if underPath(pass.Path(), "repro/internal/pipeline") && isSchedulerMethod(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if waitGroupScoped(info, fd, gs) {
+					return true
+				}
+				pass.Reportf(gs.Pos(),
+					"%s launches a goroutine outside pipeline.Scheduler and without a WaitGroup scope; route the work through the scheduler, scope it with a sync.WaitGroup, or add a //tlvet:ignore goscheduler with a lifecycle reason",
+					fd.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// isSchedulerMethod reports whether fd is a method of
+// pipeline.Scheduler.
+func isSchedulerMethod(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Scheduler"
+}
+
+// waitGroupScoped reports whether the go statement is covered by the
+// structured fan-out shape: some sync.WaitGroup object in fd has an
+// Add call positioned before the spawn and a Wait call anywhere in the
+// function.
+func waitGroupScoped(info *types.Info, fd *ast.FuncDecl, gs *ast.GoStmt) bool {
+	addBefore := make(map[types.Object]bool)
+	waits := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !isWaitGroupType(info.TypeOf(sel.X)) {
+			return true
+		}
+		obj := info.Uses[base]
+		if obj == nil {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Add":
+			if call.Pos() < gs.Pos() {
+				addBefore[obj] = true
+			}
+		case "Wait":
+			waits[obj] = true
+		}
+		return true
+	})
+	for obj := range addBefore {
+		if waits[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup (or a pointer to
+// it).
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}

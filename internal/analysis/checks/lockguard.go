@@ -1,0 +1,371 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+
+	"repro/internal/analysis"
+)
+
+// LockGuard enforces documented lock discipline: a struct field whose
+// comment says `guarded by <mu>` (where <mu> is a sibling sync.Mutex
+// or sync.RWMutex field) may only be touched while that mutex is held.
+// The check is intra-procedural with a conservative lock-state walk:
+//
+//   - `x.mu.Lock()` / `x.mu.RLock()` raises the held count for x;
+//     `Unlock()` / `RUnlock()` lowers it; `defer x.mu.Unlock()` keeps
+//     the mutex held to the end of the function (the idiomatic
+//     lock-and-defer pattern).
+//   - branch and loop bodies inherit the entry state but do not leak
+//     acquisitions past their own end — a lock taken inside an if-arm
+//     does not cover code after the if.
+//   - function literals start with no locks held: a closure may run on
+//     another goroutine long after the creating frame unlocked.
+//
+// Two escape hatches exist for call-with-lock-held helpers: a function
+// whose name ends in "Locked" is assumed to run under its caller's
+// lock, and //tlvet:ignore lockguard covers the genuinely clever cases.
+var LockGuard = &analysis.Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated `guarded by <mu>` must only be accessed with that mutex held",
+	Run:  runLockGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedStruct records one annotated struct type: guarded field name
+// -> mutex field name.
+type guardedStruct map[string]string
+
+func runLockGuard(pass *analysis.Pass) {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: pass, guarded: guarded, fn: fd}
+			w.stmts(fd.Body.List, make(map[lockKey]int))
+		}
+	}
+}
+
+// collectGuarded parses `guarded by <mu>` field annotations from the
+// package's struct declarations, validating that the named mutex is a
+// sibling field of mutex type.
+func collectGuarded(pass *analysis.Pass) map[*types.Named]guardedStruct {
+	info := pass.TypesInfo()
+	out := make(map[*types.Named]guardedStruct)
+	for _, file := range pass.Files() {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			named, _ := info.Defs[ts.Name].Type().(*types.Named)
+			if named == nil {
+				return true
+			}
+			muFields := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				if isMutexType(info.TypeOf(f.Type)) {
+					for _, name := range f.Names {
+						muFields[name.Name] = true
+					}
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !muFields[mu] {
+					pass.Reportf(f.Pos(),
+						"field is annotated `guarded by %s` but %s is not a sibling sync.Mutex/RWMutex field of %s",
+						mu, mu, ts.Name.Name)
+					continue
+				}
+				gs := out[named]
+				if gs == nil {
+					gs = make(guardedStruct)
+					out[named] = gs
+				}
+				for _, name := range f.Names {
+					gs[name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment.
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether t is sync.Mutex or sync.RWMutex (or a
+// pointer to one).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockKey identifies one mutex instance intra-procedurally: the base
+// object (receiver or local variable) plus the mutex field name.
+type lockKey struct {
+	base types.Object
+	mu   string
+}
+
+// lockWalker walks one function body in source order, tracking which
+// mutexes are held.
+type lockWalker struct {
+	pass    *analysis.Pass
+	guarded map[*types.Named]guardedStruct
+	fn      *ast.FuncDecl
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[lockKey]int) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+// branch walks nested statements with a copy of the lock state, so
+// acquisitions inside do not leak out.
+func (w *lockWalker) branch(list []ast.Stmt, held map[lockKey]int) {
+	copied := make(map[lockKey]int, len(held))
+	for k, v := range held {
+		copied[k] = v
+	}
+	w.stmts(list, copied)
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[lockKey]int) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.branch(s.List, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		w.branch(s.Body.List, held)
+		w.stmt(s.Else, held)
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Cond, held)
+		body := make([]ast.Stmt, 0, len(s.Body.List)+1)
+		body = append(body, s.Body.List...)
+		if s.Post != nil {
+			body = append(body, s.Post)
+		}
+		w.branch(body, held)
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.branch(s.Body.List, held)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.expr(s.Tag, held)
+		w.branch(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		w.branch(s.Body.List, held)
+	case *ast.SelectStmt:
+		w.branch(s.Body.List, held)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.expr(e, held)
+		}
+		w.branch(s.Body, held)
+	case *ast.CommClause:
+		w.stmt(s.Comm, held)
+		w.branch(s.Body, held)
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the mutex held to function end.
+		// Other deferred calls: arguments are evaluated now (under the
+		// current state); a deferred func literal body starts lock-free
+		// via the FuncLit case.
+		if _, op, ok := w.lockOp(s.Call); ok && op < 0 {
+			return // the unlock is deferred: leave held untouched
+		}
+		w.expr(s.Call, held)
+	case *ast.GoStmt:
+		// Arguments are evaluated on this goroutine under the current
+		// state; the spawned literal's body starts lock-free.
+		w.expr(s.Call, held)
+	case *ast.ExprStmt:
+		w.expr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.expr(e, held)
+		}
+		for _, e := range s.Lhs {
+			w.expr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.expr(e, held)
+		}
+	case *ast.IncDecStmt:
+		w.expr(s.X, held)
+	case *ast.SendStmt:
+		w.expr(s.Chan, held)
+		w.expr(s.Value, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, e := range vs.Values {
+						w.expr(e, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr checks one expression under the current lock state, updating it
+// for Lock/Unlock calls. held == nil means "walk with no locks and no
+// state updates" (defer/go bodies).
+func (w *lockWalker) expr(e ast.Expr, held map[lockKey]int) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// Closures start lock-free: they may run on another
+			// goroutine after the creating frame released everything.
+			w.stmts(n.Body.List, make(map[lockKey]int))
+			return false
+		case *ast.CallExpr:
+			if key, op, ok := w.lockOp(n); ok {
+				if held != nil {
+					held[key] += op
+				}
+				return false // don't treat x.mu as a field access
+			}
+		case *ast.SelectorExpr:
+			w.checkAccess(n, held)
+		}
+		return true
+	})
+}
+
+// lockOp recognizes x.mu.Lock/RLock (+1) and x.mu.Unlock/RUnlock (-1)
+// calls, returning the mutex's intra-procedural identity.
+func (w *lockWalker) lockOp(call *ast.CallExpr) (lockKey, int, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockKey{}, 0, false
+	}
+	var op int
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = 1
+	case "Unlock", "RUnlock":
+		op = -1
+	default:
+		return lockKey{}, 0, false
+	}
+	// The receiver must be a mutex-typed selector base.mu or a plain
+	// mutex variable.
+	switch recv := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		if !isMutexType(w.pass.TypesInfo().TypeOf(recv)) {
+			return lockKey{}, 0, false
+		}
+		if base, ok := ast.Unparen(recv.X).(*ast.Ident); ok {
+			return lockKey{w.pass.TypesInfo().Uses[base], recv.Sel.Name}, op, true
+		}
+	case *ast.Ident:
+		if !isMutexType(w.pass.TypesInfo().TypeOf(recv)) {
+			return lockKey{}, 0, false
+		}
+		// A plain local/package-level mutex: identified by its object,
+		// with no field name.
+		return lockKey{w.pass.TypesInfo().Uses[recv], ""}, op, true
+	}
+	return lockKey{}, 0, false
+}
+
+// checkAccess reports sel when it reads or writes a guarded field
+// while the guarding mutex is not known to be held.
+func (w *lockWalker) checkAccess(sel *ast.SelectorExpr, held map[lockKey]int) {
+	info := w.pass.TypesInfo()
+	s := info.Selections[sel]
+	if s == nil || s.Kind() != types.FieldVal {
+		return
+	}
+	named := namedRecv(s.Recv())
+	if named == nil {
+		return
+	}
+	gs := w.guarded[named]
+	mu, guarded := gs[sel.Sel.Name]
+	if !guarded {
+		return
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok {
+		return // chained access (a.b.c): base identity unknown, skip
+	}
+	key := lockKey{info.Uses[base], mu}
+	if held != nil && held[key] > 0 {
+		return
+	}
+	if endsWithLocked(w.fn.Name.Name) {
+		return // helper documented-by-name to run under the caller's lock
+	}
+	w.pass.Reportf(sel.Sel.Pos(),
+		"%s accesses %s.%s, which is guarded by %s, without holding it; lock %s.%s first (or name the helper ...Locked)",
+		w.fn.Name.Name, base.Name, sel.Sel.Name, mu, base.Name, mu)
+}
+
+func endsWithLocked(name string) bool {
+	const suffix = "Locked"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}
+
+// namedRecv unwraps a selection receiver to its *types.Named.
+func namedRecv(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}

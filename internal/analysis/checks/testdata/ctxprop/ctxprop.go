@@ -1,0 +1,49 @@
+// The ctxprop fixture is loaded under its real module path (a repro/
+// package, so the FContext-variant rule applies) and exercises both
+// severances: minting a fresh root inside a ctx-receiving function, and
+// calling the context-free variant of a function that has a Context
+// sibling.
+package ctxprop
+
+import "context"
+
+// Solve is the context-free variant of SolveContext.
+func Solve(x int) int { return x }
+
+// SolveContext is the propagating variant.
+func SolveContext(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// Plain has no Context sibling: dropping ctx to call it is fine.
+func Plain(x int) int { return x }
+
+func freshRoot(ctx context.Context) context.Context {
+	return context.Background() // want `freshRoot receives a context but calls context\.Background`
+}
+
+func freshTodo(ctx context.Context, x int) int {
+	return SolveContext(context.TODO(), x) // want `freshTodo receives a context but calls context\.TODO`
+}
+
+func dropsCtx(ctx context.Context, x int) int {
+	return Solve(x) // want `dropsCtx receives a context but calls ctxprop\.Solve, dropping it; use ctxprop\.SolveContext\(ctx, \.\.\.\)`
+}
+
+// propagates is the correct shape.
+func propagates(ctx context.Context, x int) int {
+	return SolveContext(ctx, x)
+}
+
+// noVariant calls a function with no Context sibling: nothing to drop.
+func noVariant(ctx context.Context, x int) int {
+	_ = ctx
+	return Plain(x)
+}
+
+// noCtxParam receives no context, so minting a root is its prerogative
+// (main and tests do exactly this).
+func noCtxParam(x int) int {
+	return SolveContext(context.Background(), x)
+}

@@ -1,0 +1,66 @@
+// The goscheduler fixture impersonates a pipeline subpackage (loaded
+// under repro/internal/pipeline/testfixture) so both halves of the rule
+// are visible: Scheduler methods may spawn freely, everything else
+// needs a WaitGroup scope or a reasoned suppression.
+package testfixture
+
+import "sync"
+
+func work() {}
+
+func unbounded() {
+	go work() // want `unbounded launches a goroutine outside pipeline\.Scheduler and without a WaitGroup scope`
+}
+
+// fanOut is the structured shape: Add before the spawn, Wait on the
+// same WaitGroup.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// addAfterSpawn gets the ordering wrong: the Add must precede the go
+// statement for the scope to count.
+func addAfterSpawn() {
+	var wg sync.WaitGroup
+	go func() { wg.Done() }() // want `addAfterSpawn launches a goroutine`
+	wg.Add(1)
+	wg.Wait()
+}
+
+// mismatched Adds on one WaitGroup and Waits on another.
+func mismatched(other *sync.WaitGroup) {
+	var spawn sync.WaitGroup
+	spawn.Add(1)
+	go func() { spawn.Done() }() // want `mismatched launches a goroutine`
+	other.Wait()
+}
+
+// Scheduler impersonates pipeline.Scheduler: its own methods are the
+// sanctioned spawn point.
+type Scheduler struct {
+	jobs chan func()
+}
+
+func (s *Scheduler) spawnWorker() {
+	go func() {
+		for job := range s.jobs {
+			job()
+		}
+	}()
+}
+
+// serviceLoop documents its lifecycle instead: suppressed.
+func serviceLoop(done chan struct{}) {
+	//tlvet:ignore goscheduler -- long-lived service loop; owned and joined by the Close path
+	go func() {
+		<-done
+	}()
+}

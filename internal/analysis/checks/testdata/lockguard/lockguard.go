@@ -1,0 +1,86 @@
+// The lockguard fixture exercises the `guarded by <mu>` contract: the
+// lock-and-defer and branch-scoped holds pass, unheld accesses and
+// closure escapes are flagged, and the ...Locked naming escape hatch
+// and annotation validation both fire.
+package lockguard
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) incDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) racyRead() int {
+	return c.n // want `racyRead accesses c\.n, which is guarded by mu, without holding it`
+}
+
+func (c *counter) unlockTooSoon() int {
+	c.mu.Lock()
+	c.mu.Unlock()
+	return c.n // want `unlockTooSoon accesses c\.n, which is guarded by mu`
+}
+
+// branchScoped: a lock taken inside an if-arm does not cover the code
+// after it.
+func (c *counter) branchScoped(b bool) {
+	if b {
+		c.mu.Lock()
+		c.n++
+		c.mu.Unlock()
+	}
+	c.n++ // want `branchScoped accesses c\.n, which is guarded by mu`
+}
+
+// closureEscapes: a function literal may run on another goroutine after
+// the creating frame unlocked, so it starts lock-free.
+func (c *counter) closureEscapes() func() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() {
+		c.n++ // want `closureEscapes accesses c\.n, which is guarded by mu`
+	}
+}
+
+// valueLocked is the documented-by-name helper shape: callers hold
+// c.mu.
+func (c *counter) valueLocked() int {
+	return c.n
+}
+
+type rwCounter struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (c *rwCounter) read() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.v
+}
+
+func (c *rwCounter) racy() int {
+	return c.v // want `racy accesses c\.v, which is guarded by mu`
+}
+
+// badGuard's annotation names a mutex that does not exist as a sibling
+// field: the annotation itself is the finding.
+type badGuard struct {
+	n int // guarded by lock want "annotated `guarded by lock` but lock is not a sibling sync.Mutex/RWMutex field of badGuard"
+}
+
+func useBadGuard(b *badGuard) int {
+	return b.n
+}

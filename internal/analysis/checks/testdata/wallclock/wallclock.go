@@ -1,0 +1,49 @@
+// The wallclock fixture impersonates a solver subpackage (the golden
+// test loads it under repro/internal/solver/testfixture), putting every
+// function here in the solve-path scope.
+package testfixture
+
+import (
+	"time"
+
+	dep "repro/internal/analysis/checks/testdata/wallclockdep"
+)
+
+// Stage reads the clock directly on the solve path.
+func Stage() float64 {
+	t0 := time.Now() // want `Stage reads the wall clock \(time\.Now\) on the solve path`
+	_ = t0
+	return 1.0
+}
+
+// Elapsed depends on the clock through time.Since.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `Elapsed reads the wall clock \(time\.Since\)`
+}
+
+// Indirect reaches the clock through one out-of-scope hop; the finding
+// carries the witness chain.
+func Indirect() int64 {
+	return dep.Stamp() // want `Indirect calls wallclockdep\.Stamp, which transitively reads the wall clock \(wallclockdep\.Stamp -> time\.Now\)`
+}
+
+// Deep reaches the clock through two hops.
+func Deep() int64 {
+	return dep.Wrapped() // want `Deep calls wallclockdep\.Wrapped, which transitively reads the wall clock \(wallclockdep\.Wrapped -> wallclockdep\.Stamp -> time\.Now\)`
+}
+
+// CleanCall calls a dependency that never touches the clock.
+func CleanCall() int64 {
+	return dep.Pure(21)
+}
+
+// Suppressed carries the sanctioned telemetry escape hatch.
+func Suppressed() int64 {
+	//tlvet:ignore wallclock -- telemetry only: feeds a histogram, never results
+	return time.Now().UnixNano()
+}
+
+// Pure is a clock-free solve function: the common case.
+func Pure(x float64) float64 {
+	return 2 * x
+}

@@ -1,0 +1,25 @@
+// Package wallclockdep is a helper dependency for the wallclock golden
+// fixture: it is imported by its real module path (so the loader
+// records it as a dependency and the callgraph summarizes it) and sits
+// outside both the solve-path scope and the obs/serve barrier, which
+// makes it exactly the kind of package a clock read can hide in.
+package wallclockdep
+
+import "time"
+
+// Stamp reads the wall clock directly: callers on the solve path
+// transitively read it through one hop.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Wrapped reads the clock through Stamp: two hops for the witness
+// chain.
+func Wrapped() int64 {
+	return Stamp() + 1
+}
+
+// Pure never touches the clock; solve-path callers stay clean.
+func Pure(x int64) int64 {
+	return x * 2
+}

@@ -1,0 +1,150 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// WallClock enforces the determinism contract of the solve path: the
+// staged GP optimization must be a pure function of its inputs, so no
+// function in the solver/gp/pipeline/core packages may read the wall
+// clock — directly or through anything it calls. A clock read on the
+// solve path is exactly the class of bug the byte-identical-manifest
+// gates exist to catch, except it only corrupts results under load or
+// across machines, where the gates aren't looking.
+//
+// The observability layer is the sanctioned consumer of time:
+// propagation stops at repro/internal/obs (and its subpackages), so
+// emitting a span or observing a histogram does not taint the caller.
+// Telemetry reads in the solve packages themselves (a time.Now pair
+// around a stage to feed a histogram) are real findings — each must
+// carry a //tlvet:ignore wallclock directive stating that the value
+// feeds observability only, never results.
+var WallClock = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock reads reachable from solver/gp/pipeline/core solve paths outside the obs allowlist",
+	Run:  runWallClock,
+}
+
+// wallClockScope lists the packages whose functions form the solve
+// path.
+var wallClockScope = []string{
+	"repro/internal/solver",
+	"repro/internal/gp",
+	"repro/internal/pipeline",
+	"repro/internal/core",
+}
+
+// wallClockBarrier lists package prefixes through which the fact does
+// not propagate: layers that read time by design and never feed it back
+// into results.
+var wallClockBarrier = []string{
+	"repro/internal/obs",
+	"repro/internal/serve",
+}
+
+// wallClockFuncs are the time-package functions that read (or depend
+// on) the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
+func wallClockInScope(path string) bool {
+	for _, p := range wallClockScope {
+		if underPath(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func wallClockIsBarrier(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	for _, p := range wallClockBarrier {
+		if underPath(pkg.Path(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+// wallClockDirect reports whether a call site reads the wall clock
+// itself.
+func wallClockDirect(c analysis.CallSite) bool {
+	if c.Callee == nil {
+		return false
+	}
+	pkg := c.Callee.Pkg()
+	return pkg != nil && pkg.Path() == "time" && wallClockFuncs[c.Callee.Name()]
+}
+
+func runWallClock(pass *analysis.Pass) {
+	if !wallClockInScope(pass.Path()) {
+		return
+	}
+	reads := pass.Module.Transitive(wallClockDirect, wallClockIsBarrier)
+
+	for _, file := range pass.Files() {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo().Defs[fd.Name].(*types.Func)
+			node := pass.Module.Funcs[fn]
+			if node == nil {
+				continue
+			}
+			for _, c := range node.Calls {
+				switch {
+				case wallClockDirect(c):
+					pass.Reportf(c.Pos,
+						"%s reads the wall clock (time.%s) on the solve path; results must be a pure function of inputs — route timing through obs or add a //tlvet:ignore wallclock with a reason",
+						fd.Name.Name, c.Callee.Name())
+				case c.Callee != nil && !wallClockIsBarrier(c.Callee) &&
+					!wallClockCalleeInScope(c.Callee) && reads.Has(c.Callee):
+					pass.Reportf(c.Pos,
+						"%s calls %s, which transitively reads the wall clock (%s); the solve path must stay clock-free",
+						fd.Name.Name, qualifiedName(c.Callee), wallClockChain(reads, c.Callee))
+				}
+			}
+		}
+	}
+}
+
+// wallClockCalleeInScope reports whether the callee is itself declared
+// in a solve-path package: its clock reads are reported at their own
+// site, so flagging every in-scope caller too would only repeat the
+// finding.
+func wallClockCalleeInScope(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	return pkg != nil && wallClockInScope(pkg.Path())
+}
+
+// wallClockChain renders the witness path from fn to the clock read,
+// e.g. "loadCfg -> readEnv -> time.Now".
+func wallClockChain(f *analysis.Fact, fn *types.Func) string {
+	var parts []string
+	for _, hop := range f.Why(fn) {
+		parts = append(parts, qualifiedName(hop))
+	}
+	if c, ok := f.Site(fn); ok && c.Callee != nil {
+		parts = append(parts, "time."+c.Callee.Name())
+	}
+	return strings.Join(parts, " -> ")
+}
+
+// qualifiedName renders pkgname.Func for diagnostics.
+func qualifiedName(fn *types.Func) string {
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

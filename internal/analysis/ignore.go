@@ -5,50 +5,82 @@ import (
 	"strings"
 )
 
-// ignorePrefix starts a suppression directive:
+// Suppression directives:
 //
-//	//tlvet:ignore <analyzer> -- <reason>
+//	//tlvet:ignore <analyzer>[, <analyzer>...] -- <reason>
+//	//tlvet:ignore-file <analyzer>[, <analyzer>...] -- <reason>
 //
-// placed on the offending line or the line directly above it. The
-// reason is mandatory — suppressions must carry their justification in
-// the source, not in review history — so a directive without one is
+// The line form covers findings on the directive's own line or the line
+// directly below it (i.e. it is written on the offending line or the
+// line above). The file form covers the named analyzers for the whole
+// file; it wins over line granularity in the sense that no per-line
+// directive is needed — or consulted — once a file-level directive
+// names the analyzer. Several analyzers may share one directive,
+// comma-separated.
+//
+// The reason is mandatory — suppressions must carry their justification
+// in the source, not in review history — so a directive without one is
 // itself reported, as is one naming an analyzer tlvet does not ship.
-const ignorePrefix = "//tlvet:ignore"
+const (
+	ignorePrefix     = "//tlvet:ignore"
+	ignoreFilePrefix = "//tlvet:ignore-file"
+)
 
 // ignoreSet is the parsed suppression state for one package.
 type ignoreSet struct {
 	// byLine maps file -> line -> analyzer names suppressed there.
-	byLine    map[string]map[int]map[string]bool
+	byLine map[string]map[int]map[string]bool
+	// byFile maps file -> analyzer names suppressed file-wide.
+	byFile    map[string]map[string]bool
 	malformed []Finding
 }
 
 func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
-	ig := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	ig := &ignoreSet{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
-				if !ok {
+				// The file prefix must be tested first: the line prefix is
+				// a prefix of it, so the ignore-file form would otherwise
+				// parse as a line ignore of the analyzer "-file ...".
+				fileWide := false
+				rest, ok := strings.CutPrefix(c.Text, ignoreFilePrefix)
+				if ok {
+					fileWide = true
+				} else if rest, ok = strings.CutPrefix(c.Text, ignorePrefix); !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				name, reason, haveSep := strings.Cut(rest, "--")
-				name = strings.TrimSpace(name)
+				names, reason, haveSep := strings.Cut(rest, "--")
 				reason = strings.TrimSpace(reason)
-				switch {
-				case !haveSep || reason == "":
+				if !haveSep || reason == "" {
 					ig.malformed = append(ig.malformed, Finding{
 						Analyzer: "tlvet",
 						Message:  `ignore directive needs a reason: //tlvet:ignore <analyzer> -- <reason>`,
 						File:     pos.Filename, Line: pos.Line, Col: pos.Column,
 					})
-				case name == "" || !known[name]:
-					ig.malformed = append(ig.malformed, Finding{
-						Analyzer: "tlvet",
-						Message:  "ignore directive names unknown analyzer " + strconv.Quote(name),
-						File:     pos.Filename, Line: pos.Line, Col: pos.Column,
-					})
-				default:
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" || !known[name] {
+						ig.malformed = append(ig.malformed, Finding{
+							Analyzer: "tlvet",
+							Message:  "ignore directive names unknown analyzer " + strconv.Quote(name),
+							File:     pos.Filename, Line: pos.Line, Col: pos.Column,
+						})
+						continue
+					}
+					if fileWide {
+						if ig.byFile[pos.Filename] == nil {
+							ig.byFile[pos.Filename] = make(map[string]bool)
+						}
+						ig.byFile[pos.Filename][name] = true
+						continue
+					}
 					lines := ig.byLine[pos.Filename]
 					if lines == nil {
 						lines = make(map[int]map[string]bool)
@@ -65,9 +97,12 @@ func collectIgnores(pkg *Package, known map[string]bool) *ignoreSet {
 	return ig
 }
 
-// suppresses reports whether a directive on f's line or the line above
-// it names f's analyzer.
+// suppresses reports whether f is covered by a file-level directive, or
+// by a line directive on f's line or the line above it.
 func (ig *ignoreSet) suppresses(f Finding) bool {
+	if ig.byFile[f.File][f.Analyzer] {
+		return true
+	}
 	lines := ig.byLine[f.File]
 	if lines == nil {
 		return false

@@ -24,6 +24,12 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Deps holds the module-internal packages loaded to satisfy this
+	// package's imports (transitively). LoadModule leaves it empty —
+	// every module package is already a sibling — but LoadDir fills it
+	// so BuildModule can summarize fixture dependencies and
+	// cross-package facts resolve in golden tests.
+	Deps []*Package
 }
 
 // loader typechecks module packages from source, resolving standard
@@ -252,5 +258,15 @@ func LoadDir(dir, importPath string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newLoader(root, modPath).loadDir(dir, importPath)
+	l := newLoader(root, modPath)
+	pkg, err := l.loadDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	for path, dep := range l.pkgs {
+		if path != importPath {
+			pkg.Deps = append(pkg.Deps, dep)
+		}
+	}
+	return pkg, nil
 }

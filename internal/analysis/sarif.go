@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SARIF 2.1.0 output. The structs model the subset of the spec tlvet
+// emits — one run, one driver, rule metadata from the analyzer docs,
+// and one result per finding with a single physical location — which is
+// also the exact shape scripts/sarifcheck validates and check.sh's
+// smoke gate consumes. Artifact URIs are module-root-relative with
+// forward slashes, as SARIF requires.
+
+// SARIFLog is the top-level envelope.
+type SARIFLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SARIFRun `json:"runs"`
+}
+
+// SARIFRun is one tool invocation.
+type SARIFRun struct {
+	Tool    SARIFTool     `json:"tool"`
+	Results []SARIFResult `json:"results"`
+}
+
+// SARIFTool wraps the driver description.
+type SARIFTool struct {
+	Driver SARIFDriver `json:"driver"`
+}
+
+// SARIFDriver names the tool and lists its rules (one per analyzer).
+type SARIFDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SARIFRule `json:"rules"`
+}
+
+// SARIFRule is one analyzer's metadata.
+type SARIFRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SARIFMessage `json:"shortDescription"`
+}
+
+// SARIFResult is one finding.
+type SARIFResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SARIFMessage    `json:"message"`
+	Locations []SARIFLocation `json:"locations"`
+}
+
+// SARIFMessage is the spec's message object.
+type SARIFMessage struct {
+	Text string `json:"text"`
+}
+
+// SARIFLocation wraps one physical location.
+type SARIFLocation struct {
+	PhysicalLocation SARIFPhysicalLocation `json:"physicalLocation"`
+}
+
+// SARIFPhysicalLocation is artifact + region.
+type SARIFPhysicalLocation struct {
+	ArtifactLocation SARIFArtifactLocation `json:"artifactLocation"`
+	Region           SARIFRegion           `json:"region"`
+}
+
+// SARIFArtifactLocation is a root-relative file reference.
+type SARIFArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+// SARIFRegion is a start position.
+type SARIFRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// relURI renders file relative to root as a slash-separated SARIF URI;
+// a file outside root (or an un-relativizable path) falls back to the
+// slashed original.
+func relURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// BuildSARIF assembles the log for one run. analyzers supplies rule
+// metadata and must include (at least) every analyzer named by a
+// finding; root anchors artifact URIs. Findings from the driver itself
+// (ignore-directive validation, baseline staleness) use synthetic rule
+// IDs that are appended to the rule table on demand.
+func BuildSARIF(findings []Finding, analyzers []*Analyzer, root string) *SARIFLog {
+	var rules []SARIFRule
+	index := make(map[string]int)
+	addRule := func(id, doc string) {
+		if _, ok := index[id]; ok {
+			return
+		}
+		index[id] = len(rules)
+		rules = append(rules, SARIFRule{ID: id, ShortDescription: SARIFMessage{Text: doc}})
+	}
+	sorted := append([]*Analyzer(nil), analyzers...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, a := range sorted {
+		addRule(a.Name, a.Doc)
+	}
+
+	results := make([]SARIFResult, 0, len(findings))
+	for _, f := range findings {
+		addRule(f.Analyzer, "driver diagnostic")
+		results = append(results, SARIFResult{
+			RuleID:    f.Analyzer,
+			RuleIndex: index[f.Analyzer],
+			Level:     "warning",
+			Message:   SARIFMessage{Text: f.Message},
+			Locations: []SARIFLocation{{
+				PhysicalLocation: SARIFPhysicalLocation{
+					ArtifactLocation: SARIFArtifactLocation{
+						URI:       relURI(root, f.File),
+						URIBaseID: "%SRCROOT%",
+					},
+					Region: SARIFRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return &SARIFLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SARIFRun{{
+			Tool:    SARIFTool{Driver: SARIFDriver{Name: "tlvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSARIF encodes the log for findings onto w, indented.
+func WriteSARIF(w io.Writer, findings []Finding, analyzers []*Analyzer, root string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildSARIF(findings, analyzers, root))
+}

@@ -160,6 +160,11 @@ type Delta struct {
 	// OnlyIn flags benchmarks present in just one point ("old"/"new");
 	// such rows carry no delta.
 	OnlyIn string
+	// Skipped marks benchmarks that vanished from the newer point: the
+	// comparison could not check them, which the report must say out
+	// loud — a deleted (or renamed) benchmark silently passing the
+	// regression gate is how a 2x slowdown hides behind a rename.
+	Skipped bool
 }
 
 // Compare diffs two trajectory points benchmark-by-benchmark (matched
@@ -175,7 +180,7 @@ func Compare(old, new *Point, opts CompareOptions) []Delta {
 	for name, ob := range oldBy {
 		nb, ok := newBy[name]
 		if !ok {
-			out = append(out, Delta{Name: name, OnlyIn: "old"})
+			out = append(out, Delta{Name: name, OnlyIn: "old", Skipped: true})
 			continue
 		}
 		out = append(out, dim(name, "ns/op", ob.NSPerOp, nb.NSPerOp, opts.NSTol))
@@ -225,4 +230,16 @@ func HasRegressions(deltas []Delta) bool {
 		}
 	}
 	return false
+}
+
+// CountSkipped counts benchmarks the comparison could not check
+// because they are missing from the newer point.
+func CountSkipped(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Skipped {
+			n++
+		}
+	}
+	return n
 }

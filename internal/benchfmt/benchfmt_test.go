@@ -122,3 +122,69 @@ func TestCompareFlagsRegressions(t *testing.T) {
 		t.Fatal("disabled dimension still flagged")
 	}
 }
+
+// TestCompareMissingBenchmarkIsReportedSkip pins the fix for the
+// silent-pass bug: a benchmark present in the older point but missing
+// from the newer one must come back as a Skipped row the report can
+// surface, not vanish into a clean "ok". Only old→new disappearance is
+// a skip; a brand-new benchmark has nothing to compare against and
+// stays a plain presence row.
+func TestCompareMissingBenchmarkIsReportedSkip(t *testing.T) {
+	cases := []struct {
+		name        string
+		old, new    []Benchmark
+		wantSkipped int
+		skippedName string
+	}{
+		{
+			name:        "benchmark deleted from newer point",
+			old:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}, {Name: "BenchmarkGone", NSPerOp: 20}},
+			new:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}},
+			wantSkipped: 1,
+			skippedName: "BenchmarkGone",
+		},
+		{
+			name:        "benchmark renamed: old name skips, new name is presence-only",
+			old:         []Benchmark{{Name: "BenchmarkOldName", NSPerOp: 10}},
+			new:         []Benchmark{{Name: "BenchmarkNewName", NSPerOp: 1000}},
+			wantSkipped: 1,
+			skippedName: "BenchmarkOldName",
+		},
+		{
+			name:        "benchmark only in newer point is not a skip",
+			old:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}},
+			new:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}, {Name: "BenchmarkFresh", NSPerOp: 5}},
+			wantSkipped: 0,
+		},
+		{
+			name:        "identical points skip nothing",
+			old:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}},
+			new:         []Benchmark{{Name: "BenchmarkA", NSPerOp: 10}},
+			wantSkipped: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			deltas := Compare(&Point{Benchmarks: tc.old}, &Point{Benchmarks: tc.new}, CompareOptions{})
+			if got := CountSkipped(deltas); got != tc.wantSkipped {
+				t.Fatalf("CountSkipped = %d, want %d (deltas %+v)", got, tc.wantSkipped, deltas)
+			}
+			for _, d := range deltas {
+				if d.Skipped != (d.OnlyIn == "old") {
+					t.Errorf("row %+v: Skipped must mark exactly the only-in-old rows", d)
+				}
+				if d.Skipped && tc.skippedName != "" && d.Name != tc.skippedName {
+					t.Errorf("skipped row names %q, want %q", d.Name, tc.skippedName)
+				}
+				if d.Skipped && d.Regressed {
+					t.Errorf("row %+v both skipped and regressed", d)
+				}
+			}
+			// The skip must never leak into the regression verdict: it is
+			// reported, not failed.
+			if tc.wantSkipped > 0 && HasRegressions(deltas) {
+				t.Error("skipped benchmark flagged as regression")
+			}
+		})
+	}
+}

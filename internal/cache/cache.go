@@ -78,10 +78,10 @@ type Cache[V any] struct {
 	hitC, missC, waitC, diskC, storeC *obs.Counter
 
 	mu      sync.Mutex
-	lru     *list.List // of *entry[V], front = most recent
-	index   map[Signature]*list.Element
-	flights map[Signature]*flight[V]
-	stats   Stats
+	lru     *list.List                  // guarded by mu; of *entry[V], front = most recent
+	index   map[Signature]*list.Element // guarded by mu
+	flights map[Signature]*flight[V]    // guarded by mu
+	stats   Stats                       // guarded by mu
 }
 
 type entry[V any] struct {

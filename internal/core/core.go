@@ -97,6 +97,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 	}
 	var t0 time.Time
 	if emit {
+		//tlvet:ignore wallclock -- telemetry: wall_us on optimize events; never feeds solve results
 		t0 = time.Now()
 		o.Emit(obs.EvOptimizeStart, map[string]any{
 			"problem":   p.Name,
@@ -110,6 +111,7 @@ func OptimizeContext(ctx context.Context, p *loopnest.Problem, opts Options) (*R
 			f := map[string]any{
 				"problem": p.Name,
 				"sig":     sig.Short(),
+				//tlvet:ignore wallclock -- telemetry: wall_us on optimize events; never feeds solve results
 				"wall_us": time.Since(t0).Microseconds(),
 			}
 			if err != nil || res == nil || res.Best == nil {

@@ -143,7 +143,7 @@ type Evaluator struct {
 	Nest *dataflow.Nest
 
 	mu    sync.Mutex
-	cache map[string]*dataflow.Volumes
+	cache map[string]*dataflow.Volumes // guarded by mu
 }
 
 // NewEvaluator wraps a nest.

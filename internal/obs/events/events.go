@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
@@ -228,7 +229,11 @@ func Validate(r io.Reader) (*StreamSummary, error) {
 		}
 		prevSeq = ev.Seq
 		if spec, known := schema[ev.Type]; known {
-			for field, kind := range spec.Required {
+			// Iterate both field maps in sorted order so the first
+			// error reported — and the order of unknown-field warnings
+			// — is deterministic run to run.
+			for _, field := range sortedKeys(spec.Required) {
+				kind := spec.Required[field]
 				v, ok := ev.Fields[field]
 				if !ok {
 					return nil, fmt.Errorf("%w: event %d (%s): missing required field %q", ErrBadStream, i, ev.Type, field)
@@ -237,7 +242,8 @@ func Validate(r io.Reader) (*StreamSummary, error) {
 					return nil, fmt.Errorf("%w: event %d (%s): field %q: %v", ErrBadStream, i, ev.Type, field, err)
 				}
 			}
-			for field, v := range ev.Fields {
+			for _, field := range sortedKeys(ev.Fields) {
+				v := ev.Fields[field]
 				kind, known := spec.Kind(field)
 				if !known {
 					sum.Warnings = append(sum.Warnings,
@@ -296,4 +302,15 @@ func (m multiSink) Emit(typ string, fields map[string]any) {
 	for _, s := range m {
 		s.Emit(typ, fields)
 	}
+}
+
+// sortedKeys returns m's keys in sorted order, for deterministic
+// iteration over field maps in validation and reporting paths.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -45,6 +45,7 @@ func StartStatusServer(addr string, reg *obs.Registry, rec *Recorder) (*StatusSe
 		srv:  &http.Server{Handler: mux},
 		addr: ln.Addr().String(),
 	}
+	//tlvet:ignore goscheduler -- status-server accept loop: long-lived, owned and shut down by StatusServer.Close
 	go s.srv.Serve(ln)
 	return s, nil
 }

@@ -25,7 +25,7 @@ import (
 // time, so a given run always reports one stable ID.
 type Tracer struct {
 	mu    sync.Mutex
-	roots []*Span
+	roots []*Span // guarded by mu
 	// now is the clock; overridable for tests.
 	now     func() time.Time
 	nextID  atomic.Int64
@@ -93,9 +93,12 @@ func (t *Tracer) StartSpan(parent *Span, name string, attrs ...Attr) *Span {
 	if t == nil {
 		return nil
 	}
-	s := &Span{tracer: t, name: name, start: t.now(), id: t.nextID.Add(1)}
-	if len(attrs) > 0 {
-		s.attrs = append(s.attrs, attrs...)
+	s := &Span{
+		tracer: t,
+		name:   name,
+		start:  t.now(),
+		id:     t.nextID.Add(1),
+		attrs:  append([]Attr(nil), attrs...),
 	}
 	if parent != nil {
 		s.parent = parent
@@ -120,9 +123,9 @@ type Span struct {
 	id     int64
 
 	mu       sync.Mutex
-	end      time.Time
-	attrs    []Attr
-	children []*Span
+	end      time.Time // guarded by mu
+	attrs    []Attr    // guarded by mu
+	children []*Span   // guarded by mu
 }
 
 // ID returns the span's creation-order identifier within its tracer

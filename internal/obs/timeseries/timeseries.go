@@ -156,11 +156,11 @@ type Collector struct {
 	opt Options
 
 	mu           sync.Mutex
-	series       map[string]*ring
-	prevCounters map[string]int64
-	prevHists    map[string]obs.HistogramValue
-	lastSample   time.Time
-	rounds       int64
+	series       map[string]*ring              // guarded by mu
+	prevCounters map[string]int64              // guarded by mu
+	prevHists    map[string]obs.HistogramValue // guarded by mu
+	lastSample   time.Time                     // guarded by mu
+	rounds       int64                         // guarded by mu
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -195,6 +195,7 @@ func (c *Collector) Start() {
 	c.started = true
 	c.mu.Unlock()
 	c.SampleNow()
+	//tlvet:ignore goscheduler -- sampler loop: long-lived service goroutine, stopped by Collector.Stop closing c.stop
 	go func() {
 		t := time.NewTicker(c.opt.Interval)
 		defer t.Stop()
@@ -224,11 +225,11 @@ func (c *Collector) SampleNow() {
 	dt := now.Sub(c.lastSample).Seconds()
 
 	for _, cv := range snap.Counters {
-		c.pushCounter(cv.Name, t, float64(cv.Value), rate(float64(cv.Value), c.prevCounterValue(cv.Name), dt))
+		c.pushCounterLocked(cv.Name, t, float64(cv.Value), rate(float64(cv.Value), c.prevCounterValueLocked(cv.Name), dt))
 		c.prevCounters[cv.Name] = cv.Value
 	}
 	for _, gv := range snap.Gauges {
-		c.push(gv.Name, KindGauge, Sample{T: t, V: float64(gv.Value)})
+		c.pushLocked(gv.Name, KindGauge, Sample{T: t, V: float64(gv.Value)})
 	}
 	for _, hv := range snap.Histograms {
 		prev, seen := c.prevHists[hv.Name]
@@ -237,7 +238,7 @@ func (c *Collector) SampleNow() {
 		if seen {
 			prevCnt = float64(prev.Count)
 		}
-		c.pushCounter(hv.Name+".count", t, cnt, rate(cnt, prevCnt, dt))
+		c.pushCounterLocked(hv.Name+".count", t, cnt, rate(cnt, prevCnt, dt))
 		delta := subtractHistogram(hv, prev)
 		for _, q := range [...]struct {
 			suffix string
@@ -247,7 +248,7 @@ func (c *Collector) SampleNow() {
 			if delta.Count > 0 {
 				ms = float64(delta.Quantile(q.q)) / float64(time.Millisecond)
 			}
-			c.push(hv.Name+q.suffix, KindWindow, Sample{T: t, V: ms})
+			c.pushLocked(hv.Name+q.suffix, KindWindow, Sample{T: t, V: ms})
 		}
 		c.prevHists[hv.Name] = hv
 	}
@@ -255,7 +256,9 @@ func (c *Collector) SampleNow() {
 	c.rounds++
 }
 
-func (c *Collector) prevCounterValue(name string) float64 {
+// prevCounterValueLocked reads the previous sample's counter value.
+// Callers hold c.mu.
+func (c *Collector) prevCounterValueLocked(name string) float64 {
 	if v, ok := c.prevCounters[name]; ok {
 		return float64(v)
 	}
@@ -276,11 +279,13 @@ func rate(cur, prev, dt float64) float64 {
 	return r
 }
 
-func (c *Collector) pushCounter(name string, t int64, v, r float64) {
-	c.push(name, KindCounter, Sample{T: t, V: v, Rate: r})
+// pushCounterLocked and pushLocked append one sample to a named series,
+// creating the ring on first sight. Callers hold c.mu.
+func (c *Collector) pushCounterLocked(name string, t int64, v, r float64) {
+	c.pushLocked(name, KindCounter, Sample{T: t, V: v, Rate: r})
 }
 
-func (c *Collector) push(name, kind string, s Sample) {
+func (c *Collector) pushLocked(name, kind string, s Sample) {
 	rg := c.series[name]
 	if rg == nil {
 		rg = &ring{kind: kind, buf: make([]Sample, c.opt.Capacity)}

@@ -120,6 +120,7 @@ func (s *Scheduler) Acquire(ctx context.Context) error {
 	default:
 	}
 	span := o.StartSpan(obs.SpanFromContext(ctx), "sched-wait")
+	//tlvet:ignore wallclock -- telemetry: queue wait feeds the pipeline.sched.wait histogram and span attrs only
 	start := time.Now()
 	if m != nil {
 		m.queueDepth.Add(1)
@@ -130,6 +131,7 @@ func (s *Scheduler) Acquire(ctx context.Context) error {
 	case <-ctx.Done():
 		err = ctx.Err()
 	}
+	//tlvet:ignore wallclock -- telemetry: queue wait feeds the pipeline.sched.wait histogram and span attrs only
 	wait := time.Since(start)
 	if m != nil {
 		m.queueDepth.Add(-1)

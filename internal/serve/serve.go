@@ -203,9 +203,8 @@ type Server struct {
 	deadlines   *obs.Counter
 
 	mu      sync.Mutex
-	recent  []reqStatus // newest first, capped
-	served  int64
-	details map[string]reqDetail // request ID → access-log detail, taken on log
+	recent  []reqStatus          // guarded by mu; newest first, capped
+	details map[string]reqDetail // guarded by mu; request ID → access-log detail, taken on log
 }
 
 // New assembles a server from the config. The scheduler and cache it
@@ -289,6 +288,7 @@ func (s *Server) Cache() *core.SolveCache { return s.cache }
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
 	done := make(chan struct{})
+	//tlvet:ignore goscheduler -- drain watcher: exits when the inflight WaitGroup drains; bounded by request lifecycle
 	go func() {
 		s.inflight.Wait()
 		close(done)
@@ -535,7 +535,6 @@ func (s *Server) runWork(ctx context.Context, req *OptimizeRequest, wk *work) (*
 	}
 
 	s.spool(man, resp)
-	atomic.AddInt64(&s.served, 1)
 	return resp, nil
 }
 

@@ -73,9 +73,9 @@ type sloTracker struct {
 	objective float64
 
 	mu       sync.Mutex
-	ring     [sloRingBuckets]sloBucket
-	lifeGood int64
-	lifeBad  int64
+	ring     [sloRingBuckets]sloBucket // guarded by mu
+	lifeGood int64                     // guarded by mu
+	lifeBad  int64                     // guarded by mu
 }
 
 func newSLOTracker(name string, objective float64) *sloTracker {
@@ -99,8 +99,9 @@ func (t *sloTracker) observe(good bool, now time.Time) {
 	}
 }
 
-// window sums the newest n buckets ending at now.
-func (t *sloTracker) window(now time.Time, n int) (good, bad int64) {
+// windowLocked sums the newest n buckets ending at now. Callers hold
+// t.mu.
+func (t *sloTracker) windowLocked(now time.Time, n int) (good, bad int64) {
 	epoch := now.UnixNano() / int64(sloBucketLen)
 	for i := 0; i < n; i++ {
 		e := epoch - int64(i)
@@ -145,8 +146,8 @@ type SLOStatus struct {
 func (t *sloTracker) status(now time.Time) SLOStatus {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	g5, b5 := t.window(now, sloFastBuckets)
-	g1, b1 := t.window(now, sloRingBuckets)
+	g5, b5 := t.windowLocked(now, sloFastBuckets)
+	g1, b1 := t.windowLocked(now, sloRingBuckets)
 	st := SLOStatus{
 		SLO:       t.name,
 		Objective: t.objective,

@@ -134,10 +134,12 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	var t0 time.Time
 	hist := o.Histogram("solver.solve_duration")
 	if hist != nil || o.EventsEnabled() {
+		//tlvet:ignore wallclock -- telemetry: solve duration feeds the solver.solve_duration histogram and solve_end event only
 		t0 = time.Now()
 	}
 	res, err := solve(p, yHint, opts)
 	if hist != nil {
+		//tlvet:ignore wallclock -- telemetry: solve duration feeds the solver.solve_duration histogram only
 		hist.Observe(time.Since(t0))
 	}
 	if o.EventsEnabled() {
@@ -148,7 +150,8 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			"objective":  res.Objective,
 			"gap":        res.Gap,
 			"phase1":     res.PhaseI,
-			"wall_us":    time.Since(t0).Microseconds(),
+			//tlvet:ignore wallclock -- telemetry: wall_us on solve_end events; never feeds solve results
+			"wall_us": time.Since(t0).Microseconds(),
 		})
 	}
 	o.Counter("solver.solves").Inc()

@@ -2,7 +2,11 @@
 # check.sh runs the repository's pre-merge gate: gofmt, build, vet, the
 # tlvet static-analysis suite (project-specific invariants: event
 # schema conformance, posynomial coefficient positivity, float
-# comparison discipline, nil-receiver safety, dropped errors), the
+# comparison discipline, nil-receiver safety, dropped errors, plus the
+# flow-aware wallclock/maprange/lockguard/ctxprop/goscheduler
+# analyzers) gated through the committed baseline ledger — a stale
+# baseline entry fails the gate just like a fresh finding — a SARIF
+# smoke run (tlvet -format sarif validated by scripts/sarifcheck), the
 # short test suite, a race-detector pass over the concurrent packages
 # (mapper worker pool, the pipeline scheduler and its staged GP flow,
 # the experiments layer fan-out, solver hooks, obs, cache
@@ -36,8 +40,15 @@ go build ./...
 echo "== go vet ./..."
 go vet ./...
 
-echo "== tlvet (project-specific static analysis)"
-go run ./cmd/tlvet .
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== tlvet (project-specific static analysis, baseline-gated)"
+go run ./cmd/tlvet -baseline .tlvet-baseline.json .
+
+echo "== tlvet SARIF smoke (emit + validate the 2.1.0 shape)"
+go run ./cmd/tlvet -format sarif . > "$tmp/tlvet.sarif"
+go run ./scripts/sarifcheck "$tmp/tlvet.sarif"
 
 echo "== go test -short ./..."
 go test -short ./...
@@ -49,8 +60,6 @@ go test -race -timeout 30m ./internal/obs/... ./internal/core/... ./internal/pip
 go test -race -timeout 30m -run 'TestOptimizeLayers' ./internal/experiments/
 
 echo "== e2e run-report gate (thistle -events/-manifest + tlreport)"
-tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"' EXIT
 go build -o "$tmp/thistle" ./cmd/thistle
 go build -o "$tmp/tlreport" ./cmd/tlreport
 "$tmp/thistle" -layer resnet18_L12 -specs=false \

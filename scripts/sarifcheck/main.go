@@ -1,0 +1,183 @@
+// Command sarifcheck structurally validates a SARIF 2.1.0 log against
+// the subset tlvet emits: correct version tag, a tool driver with a
+// rule table, a present (possibly empty, never null) results array,
+// and per-result rule references, messages, and physical locations
+// that a SARIF viewer could actually resolve. check.sh runs it over a
+// fresh `tlvet -format sarif` dump as the smoke gate for the format.
+//
+//	sarifcheck <file.sarif>   ("-" reads stdin)
+//
+// Exit status is 0 with a one-line summary when the log validates, 1
+// with a diagnostic per violation otherwise.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The decode targets mirror internal/analysis's SARIF structs but use
+// pointers where the spec distinguishes "absent" from "empty": a null
+// results array is a violation the zero value would mask.
+type sarifLog struct {
+	Schema  string      `json:"$schema"`
+	Version string      `json:"version"`
+	Runs    *[]sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool      `json:"tool"`
+	Results *[]sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string       `json:"name"`
+	Rules *[]sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string           `json:"ruleId"`
+	RuleIndex *int             `json:"ruleIndex"`
+	Level     string           `json:"level"`
+	Message   sarifMessage     `json:"message"`
+	Locations *[]sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine int `json:"startLine"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: sarifcheck <file.sarif>")
+		os.Exit(1)
+	}
+	var data []byte
+	var err error
+	if os.Args[1] == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sarifcheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	var log sarifLog
+	if err := json.Unmarshal(data, &log); err != nil {
+		fmt.Fprintf(os.Stderr, "sarifcheck: not valid JSON: %v\n", err)
+		os.Exit(1)
+	}
+
+	var violations []string
+	complain := func(format string, args ...any) {
+		violations = append(violations, fmt.Sprintf(format, args...))
+	}
+
+	if log.Version != "2.1.0" {
+		complain("version is %q, want \"2.1.0\"", log.Version)
+	}
+	if log.Schema == "" {
+		complain("$schema is missing")
+	}
+	if log.Runs == nil || len(*log.Runs) == 0 {
+		complain("runs is missing or empty")
+	}
+
+	results, rules := 0, 0
+	if log.Runs != nil {
+		for ri, run := range *log.Runs {
+			if run.Tool.Driver.Name == "" {
+				complain("runs[%d]: tool.driver.name is empty", ri)
+			}
+			ruleIDs := make(map[string]int)
+			if run.Tool.Driver.Rules == nil {
+				complain("runs[%d]: tool.driver.rules is missing", ri)
+			} else {
+				rules += len(*run.Tool.Driver.Rules)
+				for i, rule := range *run.Tool.Driver.Rules {
+					if rule.ID == "" {
+						complain("runs[%d]: rules[%d] has an empty id", ri, i)
+						continue
+					}
+					if _, dup := ruleIDs[rule.ID]; dup {
+						complain("runs[%d]: duplicate rule id %q", ri, rule.ID)
+					}
+					ruleIDs[rule.ID] = i
+				}
+			}
+			if run.Results == nil {
+				complain("runs[%d]: results is missing or null (an empty run must say [])", ri)
+				continue
+			}
+			results += len(*run.Results)
+			for i, r := range *run.Results {
+				where := fmt.Sprintf("runs[%d].results[%d]", ri, i)
+				if r.RuleID == "" {
+					complain("%s: ruleId is empty", where)
+				} else if idx, ok := ruleIDs[r.RuleID]; !ok {
+					complain("%s: ruleId %q is not in the rule table", where, r.RuleID)
+				} else if r.RuleIndex != nil && *r.RuleIndex != idx {
+					complain("%s: ruleIndex %d does not resolve to rule %q (at %d)", where, *r.RuleIndex, r.RuleID, idx)
+				}
+				if r.Message.Text == "" {
+					complain("%s: message.text is empty", where)
+				}
+				if r.Locations == nil || len(*r.Locations) == 0 {
+					complain("%s: no locations", where)
+					continue
+				}
+				for j, loc := range *r.Locations {
+					uri := loc.PhysicalLocation.ArtifactLocation.URI
+					switch {
+					case uri == "":
+						complain("%s.locations[%d]: uri is empty", where, j)
+					case strings.HasPrefix(uri, "/") || strings.Contains(uri, "\\"):
+						complain("%s.locations[%d]: uri %q is not root-relative slash-separated", where, j, uri)
+					}
+					if loc.PhysicalLocation.Region.StartLine < 1 {
+						complain("%s.locations[%d]: startLine %d < 1", where, j, loc.PhysicalLocation.Region.StartLine)
+					}
+				}
+			}
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "sarifcheck: %s\n", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("sarifcheck: ok (%d result(s), %d rule(s))\n", results, rules)
+}
