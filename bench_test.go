@@ -367,6 +367,41 @@ func BenchmarkOptimizeColdCache(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeColdPruned isolates the solve-path optimizations
+// that BenchmarkOptimizeColdCache now includes by default: "on" runs
+// with bound pruning and hybrid warm starts (reporting how many class
+// pairs the bound skipped), "off" is the ablation with both disabled —
+// every pair formulated and solved from the cold analytic hint. The
+// two produce byte-identical designs; the gap is pure solver work.
+func BenchmarkOptimizeColdPruned(b *testing.B) {
+	l, _ := workloads.ByName("resnet18_L6")
+	p, err := l.Problem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	run := func(b *testing.B, opts core.Options) {
+		pruned := 0
+		for i := 0; i < b.N; i++ {
+			res, err := core.Optimize(p, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pruned += res.Stats.Pruned
+		}
+		b.ReportMetric(float64(pruned)/float64(b.N), "prunedPairs")
+	}
+	b.Run("on", func(b *testing.B) {
+		run(b, core.Options{Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a})
+	})
+	b.Run("off", func(b *testing.B) {
+		run(b, core.Options{
+			Criterion: model.MinEnergy, Mode: core.FixedArch, Arch: &a,
+			DisableBoundPruning: true, DisableWarmStart: true,
+		})
+	})
+}
+
 // BenchmarkOptimizeWarmCache measures the same optimization served from
 // a primed solve cache: the signature computation plus a copy, no GPs.
 func BenchmarkOptimizeWarmCache(b *testing.B) {

@@ -74,6 +74,8 @@ func run() error {
 		dilation  = flag.Int64("dilation", 1, "dilation (explicit conv)")
 		nocHop    = flag.Float64("noc", 0, "NoC energy per word-hop in pJ (0 disables, the paper's setting)")
 		parallel  = flag.Int("parallel", 0, "total concurrent solve/integerize jobs across all layers (0 = NumCPU)")
+		noBound   = flag.Bool("no-bound-pruning", false, "solve every class pair even when a cheap objective bound rules it out (ablation; results are identical)")
+		noWarm    = flag.Bool("no-warm-start", false, "start every GP from the cold analytic hint instead of the previous class solution (ablation)")
 	)
 	var rf cliutil.Flags
 	rf.Register(flag.CommandLine)
@@ -118,7 +120,10 @@ func run() error {
 	}
 	a.Tech.EnergyNoCHop = *nocHop
 
-	opts := core.Options{Arch: &a, NDiv: *nDiv, AreaBudget: *area, Parallel: *parallel}
+	opts := core.Options{
+		Arch: &a, NDiv: *nDiv, AreaBudget: *area, Parallel: *parallel,
+		DisableBoundPruning: *noBound, DisableWarmStart: *noWarm,
+	}
 	switch *criterion {
 	case "energy":
 		opts.Criterion = model.MinEnergy
@@ -168,8 +173,12 @@ func run() error {
 	if res.Stats.FromCache {
 		cached = " (served from cache, 0 solved this run)"
 	}
-	fmt.Printf("search:       %d x %d permutation classes, %d GPs solved, %d integer candidates%s\n",
-		res.Stats.ClassesL1, res.Stats.ClassesSRAM, res.Stats.PairsSolved, res.Stats.Candidates, cached)
+	pruned := ""
+	if res.Stats.Pruned > 0 {
+		pruned = fmt.Sprintf(" (+%d pruned by bound)", res.Stats.Pruned)
+	}
+	fmt.Printf("search:       %d x %d permutation classes, %d GPs solved%s, %d integer candidates%s\n",
+		res.Stats.ClassesL1, res.Stats.ClassesSRAM, res.Stats.PairsSolved, pruned, res.Stats.Candidates, cached)
 
 	if *emitSpecs {
 		nest, err := core.NestFor(prob, dp)

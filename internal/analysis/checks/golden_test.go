@@ -30,6 +30,7 @@ func TestGolden(t *testing.T) {
 		{StageDep, "servedep", "repro/internal/serve/testfixture"},
 		{StageDep, "serveimport", "repro/internal/experiments/testfixture"},
 		{WallClock, "wallclock", "repro/internal/solver/testfixture"},
+		{WallClock, "wallclockpool", "repro/internal/linalg/testfixture"},
 		{MapRange, "maprange", "repro/internal/analysis/checks/testdata/maprange"},
 		{LockGuard, "lockguard", "repro/internal/analysis/checks/testdata/lockguard"},
 		{CtxProp, "ctxprop", "repro/internal/analysis/checks/testdata/ctxprop"},

@@ -27,6 +27,12 @@ import (
 //     explains the goroutine's lifecycle (long-lived service loops
 //     owned by a Close/Drain path are the expected case).
 //
+// The workspace pool is stricter still: methods of a Workspace type and
+// the pool accessors (getWS/putWS) may not spawn at all, WaitGroup or
+// not. A workspace is single-owner scratch — handing one to a goroutine
+// inside its own methods silently breaks that ownership contract, so
+// there is no structured-concurrency exemption there.
+//
 // Commands (repro/cmd/...) are exempt: main owns its own lifetime.
 var GoScheduler = &analysis.Analyzer{
 	Name: "goscheduler",
@@ -48,9 +54,16 @@ func runGoScheduler(pass *analysis.Pass) {
 			if underPath(pass.Path(), "repro/internal/pipeline") && isSchedulerMethod(fd) {
 				continue
 			}
+			pool := isWorkspacePoolFunc(fd)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				gs, ok := n.(*ast.GoStmt)
 				if !ok {
+					return true
+				}
+				if pool {
+					pass.Reportf(gs.Pos(),
+						"%s launches a goroutine inside the workspace pool; workspaces are single-owner scratch and their methods must stay on the caller's goroutine",
+						fd.Name.Name)
 					return true
 				}
 				if waitGroupScoped(info, fd, gs) {
@@ -63,6 +76,26 @@ func runGoScheduler(pass *analysis.Pass) {
 			})
 		}
 	}
+}
+
+// isWorkspacePoolFunc reports whether fd belongs to the workspace pool:
+// a method of a type named Workspace, or one of the pool accessors
+// (getWS/putWS) on the pipeline run context. These are the single-owner
+// scratch paths where any spawn is a finding.
+func isWorkspacePoolFunc(fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "getWS", "putWS":
+		return true
+	}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Workspace"
 }
 
 // isSchedulerMethod reports whether fd is a method of

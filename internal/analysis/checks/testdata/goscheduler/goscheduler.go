@@ -64,3 +64,36 @@ func serviceLoop(done chan struct{}) {
 		<-done
 	}()
 }
+
+// Workspace impersonates the solver/linalg scratch arena: single-owner,
+// so its methods may not spawn even with a WaitGroup scope.
+type Workspace struct {
+	buf []float64
+}
+
+func (ws *Workspace) fill() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `fill launches a goroutine inside the workspace pool`
+		defer wg.Done()
+		for i := range ws.buf {
+			ws.buf[i] = 0
+		}
+	}()
+	wg.Wait()
+}
+
+// getWS impersonates the run-context pool accessor: same strict rule by
+// name, independent of receiver.
+func getWS() *Workspace {
+	ws := &Workspace{}
+	go work() // want `getWS launches a goroutine inside the workspace pool`
+	return ws
+}
+
+// reset is an ordinary Workspace method with no spawn: the common case.
+func (ws *Workspace) reset() {
+	for i := range ws.buf {
+		ws.buf[i] = 0
+	}
+}

@@ -1,0 +1,34 @@
+// The wallclockpool fixture impersonates a linalg subpackage (loaded
+// under repro/internal/linalg/testfixture): the workspace refactor put
+// the arena buffers on the solve path, so linalg is now in the
+// wallclock scope and a clock read inside a Workspace method is a
+// finding like any solver one.
+package testfixture
+
+import "time"
+
+// Workspace impersonates the linalg scratch arena.
+type Workspace struct {
+	fact  []float64
+	stamp int64
+}
+
+// SolveTo is the clock-free kernel shape: the common case.
+func (ws *Workspace) SolveTo(dst, b []float64) {
+	if cap(ws.fact) < len(b) {
+		ws.fact = make([]float64, len(b))
+	}
+	copy(dst, b)
+}
+
+// Touch stamps the workspace with the wall clock: flagged, the arena is
+// on the solve path.
+func (ws *Workspace) Touch() {
+	ws.stamp = time.Now().UnixNano() // want `Touch reads the wall clock \(time\.Now\) on the solve path`
+}
+
+// Timed suppresses with the sanctioned telemetry reason.
+func (ws *Workspace) Timed() int64 {
+	//tlvet:ignore wallclock -- telemetry only: feeds a histogram, never results
+	return time.Now().UnixNano()
+}

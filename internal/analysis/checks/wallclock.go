@@ -30,10 +30,14 @@ var WallClock = &analysis.Analyzer{
 }
 
 // wallClockScope lists the packages whose functions form the solve
-// path.
+// path. linalg joined the list with the workspace refactor: its arena
+// buffers (Workspace, the In-place kernel variants) now sit inside the
+// Newton loop, so a clock read there is as results-corrupting as one in
+// the solver proper.
 var wallClockScope = []string{
 	"repro/internal/solver",
 	"repro/internal/gp",
+	"repro/internal/linalg",
 	"repro/internal/pipeline",
 	"repro/internal/core",
 }

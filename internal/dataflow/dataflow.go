@@ -16,6 +16,7 @@
 package dataflow
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -531,36 +532,51 @@ func (n *Nest) EnumerateClasses(li int, syms []Involution) ([]PermClass, error) 
 		}
 	}
 
-	canonical := func(perm []int) string {
-		dvs := make([]expr.Product, nt)
-		keys := make([]string, nt)
+	// Key construction is the enumeration hot path: one key per tensor
+	// per permutation per involution. A shared KeyBuf plus two swapped
+	// byte buffers keeps the whole dedup loop allocation-free except for
+	// the first sighting of each distinct class (the map-key string).
+	var kb expr.KeyBuf
+	var keyBuf, bestBuf []byte
+	dvs := make([]expr.Product, nt)
+	canonical := func(perm []int) []byte {
 		for ti, t := range n.Prob.Tensors {
 			_, dv := n.constructExpr(li, perm, t, df[ti])
 			dvs[ti] = dv
-			keys[ti] = dv.Key()
 		}
-		best := strings.Join(keys, ";")
+		bestBuf = bestBuf[:0]
+		for ti := range dvs {
+			if ti > 0 {
+				bestBuf = append(bestBuf, ';')
+			}
+			bestBuf = kb.AppendProductKey(bestBuf, dvs[ti], nil)
+		}
 		for _, swap := range swaps {
+			keyBuf = keyBuf[:0]
 			for ti := range dvs {
-				keys[ti] = dvs[ti].RenameVars(swap).Key()
+				if ti > 0 {
+					keyBuf = append(keyBuf, ';')
+				}
+				keyBuf = kb.AppendProductKey(keyBuf, dvs[ti], swap)
 			}
-			if ks := strings.Join(keys, ";"); ks < best {
-				best = ks
+			if bytes.Compare(keyBuf, bestBuf) < 0 {
+				bestBuf, keyBuf = keyBuf, bestBuf
 			}
 		}
-		return best
+		return bestBuf
 	}
 
 	classes := map[string]*PermClass{}
 	var order []string
 	permute(append([]int(nil), lvl.Active...), func(perm []int) {
 		key := canonical(perm)
-		if c, ok := classes[key]; ok {
+		if c, ok := classes[string(key)]; ok {
 			c.Size++
 			return
 		}
-		classes[key] = &PermClass{Perm: append([]int(nil), perm...), Key: key, Size: 1}
-		order = append(order, key)
+		ks := string(key)
+		classes[ks] = &PermClass{Perm: append([]int(nil), perm...), Key: ks, Size: 1}
+		order = append(order, ks)
 	})
 	sort.Strings(order)
 	out := make([]PermClass, 0, len(classes))

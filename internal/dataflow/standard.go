@@ -154,7 +154,14 @@ type DimEquality struct {
 // variables the nest does not have are ignored. Pinned variables receive
 // their pinned values. Missing entries default to 1.
 func (n *Nest) Assignment(total int, trips [][]int64) []float64 {
-	x := make([]float64, total)
+	return n.AssignmentInto(make([]float64, total), trips)
+}
+
+// AssignmentInto is Assignment writing into the caller-owned dst (whose
+// length fixes the variable count), so evaluation loops can reuse one
+// buffer. Returns dst.
+func (n *Nest) AssignmentInto(dst []float64, trips [][]int64) []float64 {
+	x := dst
 	for i := range x {
 		x[i] = 1
 	}

@@ -20,6 +20,7 @@ package expr
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"strings"
 )
@@ -94,7 +95,7 @@ func (m *Monomial) Canon() {
 	if len(m.Terms) == 0 {
 		return
 	}
-	sort.Slice(m.Terms, func(i, j int) bool { return m.Terms[i].Var < m.Terms[j].Var })
+	slices.SortFunc(m.Terms, termCmp)
 	out := m.Terms[:0]
 	for _, t := range m.Terms {
 		if n := len(out); n > 0 && out[n-1].Var == t.Var {
@@ -190,17 +191,40 @@ func sameExps(a, b Monomial) bool {
 	return true
 }
 
-// expsLess orders canonical monomials by their exponent vectors.
-func expsLess(a, b Monomial) bool {
+// termCmp orders terms by variable (the Canon sort key).
+func termCmp(a, b Term) int {
+	switch {
+	case a.Var < b.Var:
+		return -1
+	case a.Var > b.Var:
+		return 1
+	}
+	return 0
+}
+
+// expsCmp orders canonical monomials by their exponent vectors.
+func expsCmp(a, b Monomial) int {
 	for i := 0; i < len(a.Terms) && i < len(b.Terms); i++ {
 		if a.Terms[i].Var != b.Terms[i].Var {
-			return a.Terms[i].Var < b.Terms[i].Var
+			if a.Terms[i].Var < b.Terms[i].Var {
+				return -1
+			}
+			return 1
 		}
 		if a.Terms[i].Exp != b.Terms[i].Exp {
-			return a.Terms[i].Exp < b.Terms[i].Exp
+			if a.Terms[i].Exp < b.Terms[i].Exp {
+				return -1
+			}
+			return 1
 		}
 	}
-	return len(a.Terms) < len(b.Terms)
+	switch {
+	case len(a.Terms) < len(b.Terms):
+		return -1
+	case len(a.Terms) > len(b.Terms):
+		return 1
+	}
+	return 0
 }
 
 // String renders m using the variable names in vs.
@@ -255,7 +279,7 @@ func (p *Poly) Canon() Poly {
 	for i := range q {
 		q[i].Canon()
 	}
-	sort.Slice(q, func(i, j int) bool { return expsLess(q[i], q[j]) })
+	slices.SortFunc(q, expsCmp)
 	out := q[:0]
 	for _, m := range q {
 		if n := len(out); n > 0 && sameExps(out[n-1], m) {

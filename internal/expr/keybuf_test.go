@@ -1,0 +1,70 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randProduct builds a random factored expression shaped like the
+// dataflow DF/DV products: monomial factors plus small signomial
+// factors with occasional duplicate variables and negative constants.
+func randProduct(rng *rand.Rand) Product {
+	pr := Product{}
+	nf := 1 + rng.Intn(6)
+	for f := 0; f < nf; f++ {
+		nm := 1 + rng.Intn(3)
+		var p Poly
+		for m := 0; m < nm; m++ {
+			mono := Monomial{Coeff: float64(rng.Intn(9) - 3)}
+			if mono.Coeff == 0 {
+				mono.Coeff = 1.5
+			}
+			for t := 0; t < rng.Intn(4); t++ {
+				mono.Terms = append(mono.Terms, Term{
+					Var: VarID(rng.Intn(8)),
+					Exp: float64(1 + rng.Intn(3)),
+				})
+			}
+			p = append(p, mono)
+		}
+		pr.Factors = append(pr.Factors, p)
+	}
+	return pr
+}
+
+// TestKeyBufMatchesProductKey quick-checks that the allocation-free key
+// builder renders byte-identical output to Product.Key and
+// Product.RenameVars().Key — the property EnumerateClasses' dedup
+// depends on.
+func TestKeyBufMatchesProductKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	subst := map[VarID]VarID{0: 1, 1: 0, 4: 5, 5: 4}
+	var kb KeyBuf
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		pr := randProduct(rng)
+		want := pr.Key()
+		buf = kb.AppendProductKey(buf[:0], pr, nil)
+		if got := string(buf); got != want {
+			t.Fatalf("case %d: AppendProductKey = %q, Key() = %q", i, got, want)
+		}
+		want = pr.RenameVars(subst).Key()
+		buf = kb.AppendProductKey(buf[:0], pr, subst)
+		if got := string(buf); got != want {
+			t.Fatalf("case %d (renamed): AppendProductKey = %q, Key() = %q", i, got, want)
+		}
+	}
+}
+
+// TestKeyBufPrefixAppend verifies the builder appends to (rather than
+// replaces) dst, which EnumerateClasses relies on when joining
+// per-tensor keys with ';'.
+func TestKeyBufPrefixAppend(t *testing.T) {
+	pr := ProductOf(PolyFrom(MonoPow(2, 3, 1)))
+	var kb KeyBuf
+	out := kb.AppendProductKey([]byte("pre;"), pr, nil)
+	want := "pre;" + pr.Key()
+	if string(out) != want {
+		t.Fatalf("got %q, want %q", out, want)
+	}
+}

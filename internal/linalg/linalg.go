@@ -125,18 +125,8 @@ func (m *Dense) Mul(b *Dense) *Dense {
 // CongruentTransform returns Zᵀ·H·Z for the symmetric matrix H; the result
 // is the reduced Hessian used after equality elimination.
 func CongruentTransform(z, h *Dense) *Dense {
-	hz := h.Mul(z)
-	r := NewDense(z.Cols, z.Cols)
-	for i := 0; i < z.Cols; i++ {
-		for j := 0; j < z.Cols; j++ {
-			s := 0.0
-			for k := 0; k < z.Rows; k++ {
-				s += z.At(k, i) * hz.At(k, j)
-			}
-			r.Set(i, j, s)
-		}
-	}
-	return r
+	var ws Workspace
+	return ws.CongruentTransformTo(NewDense(z.Cols, z.Cols), z, h)
 }
 
 // Cholesky factors the symmetric positive-definite matrix A in place into
@@ -202,44 +192,12 @@ func CholSolve(l *Dense, b []float64) {
 // fails (as happens near-singular Hessians during Newton iterations).
 // A and b are not modified; the solution is returned.
 func SolveSPD(a *Dense, b []float64) ([]float64, error) {
-	n := a.Rows
-	x := make([]float64, n)
-	reg := 0.0
-	// Scale regularization attempts relative to the largest diagonal entry.
-	maxDiag := 1e-12
-	for i := 0; i < n; i++ {
-		if d := math.Abs(a.At(i, i)); d > maxDiag {
-			maxDiag = d
-		}
+	x := make([]float64, a.Rows)
+	var ws Workspace
+	if err := ws.SolveSPDTo(x, a, b); err != nil {
+		return nil, err
 	}
-	for attempt := 0; attempt < 12; attempt++ {
-		l := a.Clone()
-		if reg > 0 {
-			for i := 0; i < n; i++ {
-				l.Add(i, i, reg)
-			}
-		}
-		if err := Cholesky(l); err == nil {
-			copy(x, b)
-			CholSolve(l, x)
-			ok := true
-			for _, v := range x {
-				if math.IsNaN(v) || math.IsInf(v, 0) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				return x, nil
-			}
-		}
-		if reg == 0 {
-			reg = 1e-10 * maxDiag
-		} else {
-			reg *= 100
-		}
-	}
-	return nil, ErrSingular
+	return x, nil
 }
 
 // SolveWithNullspace solves the (possibly underdetermined, possibly
@@ -248,82 +206,12 @@ func SolveSPD(a *Dense, b []float64) ([]float64, error) {
 // columns form a basis of the nullspace of A, so that every solution is
 // x0 + Z·z. Returns ErrInconsistent when no solution exists.
 func SolveWithNullspace(a *Dense, b []float64) (x0 []float64, z *Dense, err error) {
-	m, n := a.Rows, a.Cols
-	// Augmented working copy.
-	w := a.Clone()
-	rhs := append([]float64(nil), b...)
-
-	const tol = 1e-11
-	pivotCol := make([]int, 0, n) // pivot column of each eliminated row
-	isPivot := make([]bool, n)
-	row := 0
-	for col := 0; col < n && row < m; col++ {
-		// Partial pivot.
-		best, bestAbs := -1, tol
-		for i := row; i < m; i++ {
-			if ab := math.Abs(w.At(i, col)); ab > bestAbs {
-				best, bestAbs = i, ab
-			}
-		}
-		if best < 0 {
-			continue
-		}
-		if best != row {
-			for j := 0; j < n; j++ {
-				w.Data[row*n+j], w.Data[best*n+j] = w.Data[best*n+j], w.Data[row*n+j]
-			}
-			rhs[row], rhs[best] = rhs[best], rhs[row]
-		}
-		p := w.At(row, col)
-		for i := 0; i < m; i++ {
-			if i == row {
-				continue
-			}
-			f := w.At(i, col) / p
-			if f == 0 {
-				continue
-			}
-			for j := col; j < n; j++ {
-				w.Add(i, j, -f*w.At(row, j))
-			}
-			rhs[i] -= f * rhs[row]
-		}
-		pivotCol = append(pivotCol, col)
-		isPivot[col] = true
-		row++
+	var ws Workspace
+	x0v, zv, err := ws.SolveWithNullspaceInto(a, b)
+	if err != nil {
+		return nil, nil, err
 	}
-	// Consistency: remaining rows must have ~zero RHS.
-	scale := 1.0
-	for _, v := range b {
-		if ab := math.Abs(v); ab > scale {
-			scale = ab
-		}
-	}
-	for i := row; i < m; i++ {
-		if math.Abs(rhs[i]) > 1e-8*scale {
-			return nil, nil, ErrInconsistent
-		}
-	}
-	// Particular solution: free variables zero.
-	x0 = make([]float64, n)
-	for r, c := range pivotCol {
-		x0[c] = rhs[r] / w.At(r, c)
-	}
-	// Nullspace basis: one column per free variable.
-	nFree := n - len(pivotCol)
-	z = NewDense(n, nFree)
-	fc := 0
-	for col := 0; col < n; col++ {
-		if isPivot[col] {
-			continue
-		}
-		z.Set(col, fc, 1)
-		for r, c := range pivotCol {
-			z.Set(c, fc, -w.At(r, col)/w.At(r, c))
-		}
-		fc++
-	}
-	return x0, z, nil
+	return append([]float64(nil), x0v...), zv.Clone(), nil
 }
 
 // Dot returns the inner product of a and b.

@@ -136,6 +136,16 @@ type Report struct {
 // Valid reports whether the mapping satisfied all constraints.
 func (r *Report) Valid() bool { return len(r.Violations) == 0 }
 
+// Clone returns a deep copy of r. Session-owned reports are only valid
+// until the session's next Evaluate call; keep a Clone instead.
+func (r *Report) Clone() *Report {
+	c := *r
+	if r.Violations != nil {
+		c.Violations = append([]string(nil), r.Violations...)
+	}
+	return &c
+}
+
 // Evaluator evaluates mappings of one nest, caching the symbolic volume
 // expressions per permutation choice (they are trip-value independent).
 // It is safe for concurrent use.
@@ -187,22 +197,77 @@ func (e *Evaluator) volumes(perms [][]int) (*dataflow.Volumes, error) {
 // registers and SRAM). Mappings that violate capacities still produce a
 // full report, with Violations populated, so searches can reject them.
 func (e *Evaluator) Evaluate(a *arch.Arch, m *Mapping) (*Report, error) {
+	v, err := e.volumes(m.Perms)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMapping, err)
+	}
+	s := EvalSession{e: e, vols: v}
+	return s.Evaluate(a, m)
+}
+
+// EvalSession evaluates many mappings that share one permutation choice
+// — the shape of the integerization search, which streams thousands of
+// trip-count variants of a single relaxed solution. The session pins the
+// (cached) symbolic volumes once and reuses its assignment buffer and
+// Report across calls, so steady-state evaluation does not allocate.
+//
+// The returned *Report is owned by the session and overwritten by the
+// next Evaluate call; callers that keep one must Clone it. A session is
+// not safe for concurrent use (create one per goroutine; they share the
+// evaluator's locked volume cache).
+type EvalSession struct {
+	e    *Evaluator
+	vols *dataflow.Volumes
+	x    []float64
+	rep  Report
+	// Quick elides the formatted violation messages: an invalid mapping
+	// gets a static placeholder instead. Validity (Report.Valid) is
+	// unchanged; searches that only filter on it avoid the fmt cost.
+	Quick bool
+}
+
+// Quick-mode violation placeholders (see EvalSession.Quick).
+var (
+	violRegQuick  = "register footprint over capacity"
+	violSRAMQuick = "SRAM footprint over capacity"
+	violPEQuick   = "PEs used over capacity"
+)
+
+// Session pins the symbolic volumes for one permutation choice,
+// computing (or fetching from the evaluator's cache) them once.
+func (e *Evaluator) Session(perms [][]int) (*EvalSession, error) {
+	v, err := e.volumes(perms)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadMapping, err)
+	}
+	return &EvalSession{e: e, vols: v}, nil
+}
+
+// Evaluate computes the report for a mapping whose Perms match the
+// session's. See Evaluator.Evaluate for semantics and EvalSession for
+// the ownership rules of the returned Report.
+func (s *EvalSession) Evaluate(a *arch.Arch, m *Mapping) (*Report, error) {
+	e := s.e
 	if err := a.Validate(); err != nil {
 		return nil, err
 	}
 	if err := e.Nest.CheckTrips(m.Trips); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMapping, err)
 	}
-	v, err := e.volumes(m.Perms)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadMapping, err)
-	}
+	v := s.vols
 	if len(v.Boundaries) != 2 {
 		return nil, fmt.Errorf("%w: need exactly 2 memory boundaries, nest has %d", ErrBadMapping, len(v.Boundaries))
 	}
-	x := e.Nest.Assignment(e.Nest.Vars.Len(), m.Trips)
+	if n := e.Nest.Vars.Len(); cap(s.x) < n {
+		s.x = make([]float64, n)
+	} else {
+		s.x = s.x[:n]
+	}
+	x := e.Nest.AssignmentInto(s.x, m.Trips)
 
-	r := &Report{Ops: e.Nest.Prob.Ops()}
+	viols := s.rep.Violations[:0]
+	r := &s.rep
+	*r = Report{Ops: e.Nest.Prob.Ops()}
 	r.TrafficSR = v.EvalTraffic(0, x)
 	r.TrafficDS = v.EvalTraffic(1, x)
 	r.RegFootprint = v.EvalFootprint(0, x)
@@ -249,16 +314,28 @@ func (e *Evaluator) Evaluate(a *arch.Arch, m *Mapping) (*Report, error) {
 
 	// Capacity constraints.
 	if r.RegFootprint > float64(a.Regs) {
-		r.Violations = append(r.Violations,
-			fmt.Sprintf("register footprint %.0f > %d", r.RegFootprint, a.Regs))
+		if s.Quick {
+			viols = append(viols, violRegQuick)
+		} else {
+			viols = append(viols, fmt.Sprintf("register footprint %.0f > %d", r.RegFootprint, a.Regs))
+		}
 	}
 	if r.SRAMFootprint > float64(a.SRAM) {
-		r.Violations = append(r.Violations,
-			fmt.Sprintf("SRAM footprint %.0f > %d", r.SRAMFootprint, a.SRAM))
+		if s.Quick {
+			viols = append(viols, violSRAMQuick)
+		} else {
+			viols = append(viols, fmt.Sprintf("SRAM footprint %.0f > %d", r.SRAMFootprint, a.SRAM))
+		}
 	}
 	if r.PEsUsed > a.PEs {
-		r.Violations = append(r.Violations,
-			fmt.Sprintf("PEs used %d > %d", r.PEsUsed, a.PEs))
+		if s.Quick {
+			viols = append(viols, violPEQuick)
+		} else {
+			viols = append(viols, fmt.Sprintf("PEs used %d > %d", r.PEsUsed, a.PEs))
+		}
+	}
+	if len(viols) > 0 {
+		r.Violations = viols
 	}
 	return r, nil
 }

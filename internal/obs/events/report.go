@@ -146,30 +146,70 @@ func (d *DiffResult) HasRegressions() bool {
 	return len(d.Regressions) > 0 || d.MissingLayers > 0
 }
 
-// Diff compares two manifests layer by layer (positionally: identical
-// configurations produce identical row sequences) and at the run level
-// (total EDP, wall time). A self-diff is always clean.
+// Diff compares two manifests layer by layer and at the run level
+// (total EDP, wall time). Layers are matched by name when every name is
+// unique within both runs — parallel whole-network runs record layers in
+// completion order, which is not stable across runs — and positionally
+// otherwise (repeated layer occurrences, e.g. per-epoch re-solves, keep
+// their row sequence). A self-diff is always clean.
 func Diff(oldM, newM *Manifest, opts DiffOptions) *DiffResult {
 	opts = opts.withDefaults()
 	d := &DiffResult{}
-	n := len(oldM.Layers)
-	if len(newM.Layers) < n {
-		n = len(newM.Layers)
-	}
-	d.MissingLayers = len(oldM.Layers) + len(newM.Layers) - 2*n
-	for i := 0; i < n; i++ {
-		ol, nl := oldM.Layers[i], newM.Layers[i]
-		name := nl.Name
-		if ol.Name != nl.Name {
-			name = ol.Name + "->" + nl.Name
+	if pairs, ok := matchLayersByName(oldM.Layers, newM.Layers); ok {
+		d.MissingLayers = len(oldM.Layers) + len(newM.Layers) - 2*len(pairs)
+		for _, p := range pairs {
+			d.compareLayer(p[0], p[1], opts)
 		}
-		d.compare(name, "edp", ol.EDP, nl.EDP, opts.EDPTol)
-		d.compare(name, "energy_pj", ol.EnergyPJ, nl.EnergyPJ, opts.EnergyTol)
-		d.compare(name, "cycles", ol.Cycles, nl.Cycles, opts.DelayTol)
+	} else {
+		n := len(oldM.Layers)
+		if len(newM.Layers) < n {
+			n = len(newM.Layers)
+		}
+		d.MissingLayers = len(oldM.Layers) + len(newM.Layers) - 2*n
+		for i := 0; i < n; i++ {
+			d.compareLayer(&oldM.Layers[i], &newM.Layers[i], opts)
+		}
 	}
 	d.compare("", "total_edp", oldM.Totals.EDP, newM.Totals.EDP, opts.EDPTol)
 	d.compare("", "wall_us", float64(oldM.WallUS), float64(newM.WallUS), opts.WallTol)
 	return d
+}
+
+// matchLayersByName pairs layer rows by name. It succeeds only when
+// names are unique within each run (the common single-solve-per-layer
+// shape); any duplicate name falls the diff back to positional pairing.
+// Rows whose name exists on one side only are left unpaired and counted
+// by the caller as missing.
+func matchLayersByName(oldL, newL []LayerResult) (pairs [][2]*LayerResult, ok bool) {
+	newByName := make(map[string]*LayerResult, len(newL))
+	for i := range newL {
+		if _, dup := newByName[newL[i].Name]; dup {
+			return nil, false
+		}
+		newByName[newL[i].Name] = &newL[i]
+	}
+	seen := make(map[string]bool, len(oldL))
+	for i := range oldL {
+		if seen[oldL[i].Name] {
+			return nil, false
+		}
+		seen[oldL[i].Name] = true
+		if nl := newByName[oldL[i].Name]; nl != nil {
+			pairs = append(pairs, [2]*LayerResult{&oldL[i], nl})
+		}
+	}
+	return pairs, true
+}
+
+// compareLayer diffs the headline metrics of one matched layer pair.
+func (d *DiffResult) compareLayer(ol, nl *LayerResult, opts DiffOptions) {
+	name := nl.Name
+	if ol.Name != nl.Name {
+		name = ol.Name + "->" + nl.Name
+	}
+	d.compare(name, "edp", ol.EDP, nl.EDP, opts.EDPTol)
+	d.compare(name, "energy_pj", ol.EnergyPJ, nl.EnergyPJ, opts.EnergyTol)
+	d.compare(name, "cycles", ol.Cycles, nl.Cycles, opts.DelayTol)
 }
 
 // compare classifies one metric pair against a tolerance.

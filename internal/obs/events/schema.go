@@ -108,6 +108,7 @@ func Schema() map[string]EventSpec {
 			map[string]FieldKind{
 				"objective": KindFloat, "wall_us": KindInt,
 				"gap": KindFloat, "phase1": KindBool,
+				"warm_start": KindBool, "phase1_skipped": KindBool,
 			},
 		),
 		EvCentering: row(

@@ -77,6 +77,96 @@ func TestExecuteSharedSchedulerMatchesOwn(t *testing.T) {
 	}
 }
 
+// TestExecuteAblationsIdentical: warm starts and bound pruning are
+// performance switches, not search switches — disabling either (or
+// both) must reproduce the default run's design point and statistics
+// exactly. Only Stats.Pruned may differ, and on workloads where the
+// bound never fires even that matches.
+func TestExecuteAblationsIdentical(t *testing.T) {
+	l, ok := workloads.ByName("resnet18_L9")
+	if !ok {
+		t.Fatal("unknown layer resnet18_L9")
+	}
+	p, err := l.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	base := Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a, Parallel: 4}
+	run := func(opts Options) *Result {
+		t.Helper()
+		res, err := Execute(context.Background(), p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	def := run(base)
+	for name, opts := range map[string]func(Options) Options{
+		"no warm start":    func(o Options) Options { o.DisableWarmStart = true; return o },
+		"no bound pruning": func(o Options) Options { o.DisableBoundPruning = true; return o },
+		"both off": func(o Options) Options {
+			o.DisableWarmStart, o.DisableBoundPruning = true, true
+			return o
+		},
+	} {
+		res := run(opts(base))
+		if !reflect.DeepEqual(def.Best, res.Best) {
+			t.Errorf("%s: design point differs from default run", name)
+		}
+		ds, rs := def.Stats, res.Stats
+		ds.Pruned, rs.Pruned = 0, 0
+		ds.NewtonIters, rs.NewtonIters = 0, 0 // iterate counts legitimately differ
+		if ds != rs {
+			t.Errorf("%s: stats differ from default run\ndef: %+v\ngot: %+v", name, ds, rs)
+		}
+	}
+}
+
+// TestWorkspacePoolSharedScheduler hammers the per-run workspace pool:
+// several concurrent Execute calls share one narrow scheduler, so pool
+// gets/puts from different runs interleave on the same OS threads. Run
+// with -race this is the pool's data-race gate; the results must also
+// match an isolated sequential run exactly.
+func TestWorkspacePoolSharedScheduler(t *testing.T) {
+	l, ok := workloads.ByName("resnet18_L9")
+	if !ok {
+		t.Fatal("unknown layer resnet18_L9")
+	}
+	p, err := l.Problem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := arch.Eyeriss()
+	opts := Options{Criterion: model.MinEnergy, Mode: FixedArch, Arch: &a, Parallel: 4}
+	want, err := Execute(context.Background(), p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := ContextWithScheduler(context.Background(), NewScheduler(3))
+	const runs = 4
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	done := make(chan int, runs)
+	for i := 0; i < runs; i++ {
+		go func(i int) {
+			results[i], errs[i] = Execute(ctx, p, opts)
+			done <- i
+		}(i)
+	}
+	for i := 0; i < runs; i++ {
+		<-done
+	}
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(want.Best, results[i].Best) || want.Stats != results[i].Stats {
+			t.Errorf("run %d differs from isolated run", i)
+		}
+	}
+}
+
 // TestExecuteCancelled: a cancelled context must surface promptly as a
 // context error, not as a spurious "all classes infeasible".
 func TestExecuteCancelled(t *testing.T) {

@@ -65,12 +65,23 @@ func (av *archVars) sramEnergy() expr.Monomial {
 }
 
 // formulation is one geometric program for one permutation-class pair.
+// It is built in two steps: newFormulation computes the traffic and
+// footprint posynomials and the objective (enough to evaluate the cheap
+// pruning bound, see boundCtx), and finish lowers everything into the
+// constrained program. Pruned pairs never pay for finish.
 type formulation struct {
 	nest *dataflow.Nest
 	vols *dataflow.Volumes
 	prog *gp.Program
 	av   *archVars
+	crit model.Criterion
 	varT expr.VarID // delay variable (MinDelay only)
+
+	// Relaxed posynomials shared by the pruning bound and the program.
+	trafficSR, trafficDS expr.Poly
+	regFoot, sramFoot    expr.Poly
+	objective            expr.Poly
+	ops                  float64
 }
 
 // buildGP constructs the constrained geometric program for one choice of
@@ -78,6 +89,19 @@ type formulation struct {
 // via the Algorithm-1 expressions). varT is the delay variable, used only
 // for the MinDelay criterion.
 func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criterion, varT expr.VarID, capSlack bool) (*formulation, error) {
+	f, err := newFormulation(nest, perms, av, crit, varT)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.finish(capSlack); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// newFormulation computes the data-volume posynomials and the objective
+// for one permutation pair without building the full program.
+func newFormulation(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criterion, varT expr.VarID) (*formulation, error) {
 	vols, err := nest.ComputeVolumes(perms)
 	if err != nil {
 		return nil, err
@@ -85,41 +109,64 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 	if len(vols.Boundaries) != 2 {
 		return nil, fmt.Errorf("core: nest must have exactly 2 memory boundaries, got %d", len(vols.Boundaries))
 	}
-	prog := gp.New(nest.Vars)
-	f := &formulation{nest: nest, vols: vols, prog: prog, av: av, varT: varT}
+	f := &formulation{nest: nest, vols: vols, av: av, crit: crit, varT: varT}
 
 	// Constant-fold pinned trips before relaxing: stride-1 kernel extents
 	// become exact posynomials (see Volumes.Folded).
 	folded := vols.Folded()
-	trafficSR := folded.SumTraffic(0, true)
-	trafficDS := folded.SumTraffic(1, true)
-	regFoot := folded.SumFootprint(0, true)
-	sramFoot := folded.SumFootprint(1, true)
-	ops := float64(nest.Prob.Ops())
+	f.trafficSR = folded.SumTraffic(0, true)
+	f.trafficDS = folded.SumTraffic(1, true)
+	f.regFoot = folded.SumFootprint(0, true)
+	f.sramFoot = folded.SumFootprint(1, true)
+	f.ops = float64(nest.Prob.Ops())
 
 	// Total energy per Eq. 3:
 	//   (4ε_R + ε_op)·N_ops + (ε_R + ε_S)·DVol^{S↔R} + (ε_S + ε_D)·DVol^{D↔S}
 	// plus the optional NoC term (see Tech.EnergyNoCHop).
-	energy := expr.PolyConst(av.tech.EnergyMAC * ops)
-	energy = energy.AddMono(av.regEnergy().Mul(expr.Const(4 * ops)))
-	energy = energy.Add(trafficSR.MulMono(av.regEnergy()))
-	energy = energy.Add(trafficSR.MulMono(av.sramEnergy()))
-	energy = energy.Add(trafficDS.MulMono(av.sramEnergy()))
-	energy = energy.Add(trafficDS.Scale(av.tech.EnergyDRAM))
+	energy := expr.PolyConst(av.tech.EnergyMAC * f.ops)
+	energy = energy.AddMono(av.regEnergy().Mul(expr.Const(4 * f.ops)))
+	energy = energy.Add(f.trafficSR.MulMono(av.regEnergy()))
+	energy = energy.Add(f.trafficSR.MulMono(av.sramEnergy()))
+	energy = energy.Add(f.trafficDS.MulMono(av.sramEnergy()))
+	energy = energy.Add(f.trafficDS.Scale(av.tech.EnergyDRAM))
 	if av.tech.EnergyNoCHop > 0 {
 		// Mesh traversal: each SRAM↔register word travels ≈ √P hops.
 		hop := expr.Const(av.tech.EnergyNoCHop)
 		for _, pv := range nest.SpatialTripVars() {
 			hop = hop.Mul(expr.MonoPow(1, pv, 0.5))
 		}
-		energy = energy.Add(trafficSR.MulMono(hop))
+		energy = energy.Add(f.trafficSR.MulMono(hop))
 	}
+
+	switch crit {
+	case model.MinEnergy:
+		f.objective = energy
+	case model.MinDelay:
+		// minimize T subject to each component delay ≤ T.
+		f.objective = expr.PolyFrom(expr.MonoPow(1, varT, 1))
+	case model.MinEDP:
+		// minimize energy·T — a posynomial times a monomial is still a
+		// posynomial, so the energy-delay product stays DGP-valid.
+		f.objective = energy.MulMono(expr.MonoPow(1, varT, 1))
+	default:
+		return nil, fmt.Errorf("core: unknown criterion %v", crit)
+	}
+	return f, nil
+}
+
+// finish lowers the formulation into its constrained geometric program.
+func (f *formulation) finish(capSlack bool) error {
+	nest, av, varT := f.nest, f.av, f.varT
+	vols := f.vols
+	regFoot, sramFoot := f.regFoot, f.sramFoot
+	prog := gp.New(nest.Vars)
+	f.prog = prog
 
 	// Delay components ≤ T (Section V.B), used by the delay and EDP
 	// objectives.
 	addDelay := func() error {
 		tMono := expr.MonoPow(1, varT, 1)
-		peInv := expr.Const(ops)
+		peInv := expr.Const(f.ops)
 		for _, pv := range nest.SpatialTripVars() {
 			peInv = peInv.Mul(expr.MonoPow(1, pv, -1))
 		}
@@ -130,38 +177,22 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 		if err := prog.AddLessEq("delay:regfile", expr.PolyFrom(regPort), tMono); err != nil {
 			return err
 		}
-		sramTraffic := trafficSR.Add(trafficDS)
+		sramTraffic := f.trafficSR.Add(f.trafficDS)
 		if err := prog.AddLessEq("delay:sram", sramTraffic, tMono.Mul(expr.Const(av.tech.BWSRAM))); err != nil {
 			return err
 		}
-		return prog.AddLessEq("delay:dram", trafficDS, tMono.Mul(expr.Const(av.tech.BWDRAM)))
+		return prog.AddLessEq("delay:dram", f.trafficDS, tMono.Mul(expr.Const(av.tech.BWDRAM)))
 	}
 
-	// Objective.
-	switch crit {
-	case model.MinEnergy:
-		if err := prog.SetObjective(energy); err != nil {
-			return nil, err
-		}
-	case model.MinDelay:
-		// minimize T subject to each component delay ≤ T.
-		if err := prog.SetObjective(expr.PolyFrom(expr.MonoPow(1, varT, 1))); err != nil {
-			return nil, err
-		}
+	// Objective (built by newFormulation), then the delay coupling
+	// constraints for the criteria that reference T.
+	if err := prog.SetObjective(f.objective); err != nil {
+		return err
+	}
+	if f.crit == model.MinDelay || f.crit == model.MinEDP {
 		if err := addDelay(); err != nil {
-			return nil, err
+			return err
 		}
-	case model.MinEDP:
-		// minimize energy·T — a posynomial times a monomial is still a
-		// posynomial, so the energy-delay product stays DGP-valid.
-		if err := prog.SetObjective(energy.MulMono(expr.MonoPow(1, varT, 1))); err != nil {
-			return nil, err
-		}
-		if err := addDelay(); err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("core: unknown criterion %v", crit)
 	}
 
 	// Capacity constraints. The posynomial relaxation over-approximates
@@ -180,18 +211,18 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 	}
 	if err := prog.AddLessEq("cap:registers", regFoot,
 		av.regCapacity().Mul(expr.Const(slackR))); err != nil {
-		return nil, err
+		return err
 	}
 	if err := prog.AddLessEq("cap:sram", sramFoot,
 		av.sramCapacity().Mul(expr.Const(slackS))); err != nil {
-		return nil, err
+		return err
 	}
 	peProd := expr.Const(1)
 	for _, pv := range nest.SpatialTripVars() {
 		peProd = peProd.Mul(expr.MonoPow(1, pv, 1))
 	}
 	if err := prog.AddLessEq("cap:pes", expr.PolyFrom(peProd), av.peCapacity()); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Co-design: the Eq. 5 area constraint and positivity of the
@@ -203,11 +234,11 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 			expr.MonoPow(av.tech.AreaSRAMWord, av.varS, 1),
 		)
 		if err := prog.AddLessEq("area", area, expr.Const(av.budget)); err != nil {
-			return nil, err
+			return err
 		}
 		for _, v := range []expr.VarID{av.varR, av.varS, av.varP} {
 			if err := prog.AddLowerBound("arch>=1", v, 1); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
@@ -221,7 +252,7 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 		}
 		name := fmt.Sprintf("extent:%s", nest.Prob.Iters[eq.Iter].Name)
 		if err := prog.AddMonoEq(name, lhs, expr.Const(float64(eq.Extent))); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// Pinned trips (untiled loops, placeholders). Pinned variables are
@@ -232,7 +263,7 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 	for _, pin := range nest.Pins {
 		pinned[pin.Var] = true
 		if err := prog.AddMonoEq("pin", expr.MonoPow(1, pin.Var, 1), expr.Const(pin.Value)); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	// Free trip counts are at least 1.
@@ -242,11 +273,11 @@ func buildGP(nest *dataflow.Nest, perms [][]int, av *archVars, crit model.Criter
 				continue
 			}
 			if err := prog.AddLowerBound("trip>=1", v, 1); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // onesAssignment builds the minimal-tiling point: every free trip 1,
@@ -308,7 +339,17 @@ func (f *formulation) hint() []float64 {
 	return x
 }
 
-// solve runs the GP and returns the solver result.
+// solve runs the GP from the cold analytic hint.
 func (f *formulation) solve(opts solver.Options) (gp.Result, error) {
-	return f.prog.Solve(f.hint(), opts)
+	return f.solveFrom(nil, opts)
+}
+
+// solveFrom runs the GP starting from xHint (a point in the original
+// positive variables, typically a neighboring pair's solution); nil
+// falls back to the cold analytic hint.
+func (f *formulation) solveFrom(xHint []float64, opts solver.Options) (gp.Result, error) {
+	if xHint == nil {
+		xHint = f.hint()
+	}
+	return f.prog.Solve(xHint, opts)
 }

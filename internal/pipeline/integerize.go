@@ -2,7 +2,7 @@ package pipeline
 
 import (
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/arch"
@@ -158,12 +158,21 @@ func nClosest(cands []int64, target float64, k int) []int64 {
 	for i, c := range cands {
 		s[i] = scored{c, math.Abs(math.Log(float64(c)) - math.Log(target))}
 	}
-	sort.Slice(s, func(i, j int) bool {
+	slices.SortFunc(s, func(a, b scored) int {
 		//tlvet:ignore floateq -- sort comparator: tolerance-based equality breaks strict weak ordering
-		if s[i].d != s[j].d {
-			return s[i].d < s[j].d
+		if a.d != b.d {
+			if a.d < b.d {
+				return -1
+			}
+			return 1
 		}
-		return s[i].v < s[j].v
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		}
+		return 0
 	})
 	if k > len(s) {
 		k = len(s)
@@ -200,7 +209,7 @@ func pow2Candidates(target float64, n int) []int64 {
 		}
 		out = append(out, int64(1)<<uint(e))
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -230,15 +239,26 @@ func dimCandidates(n *dataflow.Nest, it int, x []float64, opt intOptions) []dimC
 		}
 	}
 	// Deduplicate.
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i], out[j]
+	slices.SortFunc(out, func(a, b dimCandidate) int {
 		if a.sramT != b.sramT {
-			return a.sramT < b.sramT
+			if a.sramT < b.sramT {
+				return -1
+			}
+			return 1
 		}
 		if a.peTile != b.peTile {
-			return a.peTile < b.peTile
+			if a.peTile < b.peTile {
+				return -1
+			}
+			return 1
 		}
-		return a.regTile < b.regTile
+		switch {
+		case a.regTile < b.regTile:
+			return -1
+		case a.regTile > b.regTile:
+			return 1
+		}
+		return 0
 	})
 	ded := out[:0]
 	for i, c := range out {
@@ -291,8 +311,24 @@ func searchIntegerCandidates(ev *model.Evaluator, n *dataflow.Nest, perms [][]in
 		archs = []arch.Arch{av.fixed}
 	}
 
+	// All candidates of this search share one permutation choice, so pin
+	// the symbolic volumes in a session and stream every mapping through
+	// it. Quick mode skips formatted violation messages — rejected
+	// reports are discarded, and the winner (valid by construction) has
+	// none.
+	sess, err := ev.Session(perms)
+	if err != nil {
+		return nil, nil, 0
+	}
+	sess.Quick = true
+
+	// One mapping, mutated per leaf: every leaf overwrites all four trip
+	// levels of every free iterator, and consider() clones on keep, so
+	// reuse cannot leak state between candidates.
+	m := buildMapping(n, perms, nil)
+
 	consider := func(c *candidate, minUtil float64) {
-		rep, err := ev.Evaluate(&c.archCfg, c.mapping)
+		rep, err := sess.Evaluate(&c.archCfg, c.mapping)
 		if err != nil || !rep.Valid() {
 			return
 		}
@@ -302,7 +338,7 @@ func searchIntegerCandidates(ev *model.Evaluator, n *dataflow.Nest, perms [][]in
 		if bestRep == nil || model.Score(crit, rep) < model.Score(crit, bestRep) {
 			cc := *c
 			cc.mapping = c.mapping.Clone()
-			best, bestRep = &cc, rep
+			best, bestRep = &cc, rep.Clone()
 		}
 	}
 
@@ -314,7 +350,7 @@ func searchIntegerCandidates(ev *model.Evaluator, n *dataflow.Nest, perms [][]in
 				return
 			}
 			if i == len(perDim) {
-				m := buildMapping(n, perms, dims)
+				applyDims(n, m, dims)
 				for _, a := range archs {
 					ac := a
 					if av.mode == CoDesign {
@@ -358,6 +394,13 @@ func buildMapping(n *dataflow.Nest, perms [][]int, dims []dimCandidate) *model.M
 			m.Perms[i] = append([]int(nil), p...)
 		}
 	}
+	applyDims(n, m, dims)
+	return m
+}
+
+// applyDims writes per-iterator tiling choices into an existing mapping
+// (all four standard levels of each chosen iterator are overwritten).
+func applyDims(n *dataflow.Nest, m *model.Mapping, dims []dimCandidate) {
 	for _, d := range dims {
 		extent := n.Prob.Iters[d.iter].Extent
 		m.Trips[dataflow.StandardLevelReg][d.iter] = d.regTile
@@ -365,5 +408,4 @@ func buildMapping(n *dataflow.Nest, perms [][]int, dims []dimCandidate) *model.M
 		m.Trips[dataflow.StandardLevelSpatial][d.iter] = d.sramT / d.peTile
 		m.Trips[dataflow.StandardLevelSRAM][d.iter] = extent / d.sramT
 	}
-	return m
 }

@@ -82,6 +82,20 @@ type Options struct {
 	// DisablePruning turns off hoist-prefix/symmetry class dedup and
 	// enumerates raw permutations (for the pruning ablation).
 	DisablePruning bool
+	// DisableBoundPruning turns off the objective-lower-bound class
+	// pruning in the solve stage: every pair GP is formulated and solved
+	// even when a cheap bound proves it can never enter the integerized
+	// top set. Results are identical either way (the bound is
+	// conservative and the prune threshold is derived only from
+	// deterministically-ordered solves); this is an escape hatch and
+	// ablation knob, so it is excluded from the solve signature.
+	DisableBoundPruning bool
+	// DisableWarmStart makes every pair GP start from the cold analytic
+	// hint instead of chaining the previous solution of its L1 group.
+	// Warm starts only change the interior-point iteration count, not
+	// the optimum; like DisableBoundPruning this is an escape hatch
+	// excluded from the solve signature.
+	DisableWarmStart bool
 	// Cache, when non-nil, memoizes whole Optimize results by content
 	// signature (see core.SolveSignature): a repeated (problem shape ×
 	// architecture × options) request returns the cached design point
@@ -168,6 +182,11 @@ type Stats struct {
 	Suboptimal  int
 	Candidates  int
 	NewtonIters int
+	// Pruned counts pair GPs skipped by the bound-based class pruning:
+	// their objective lower bound already exceeded the running top-k
+	// threshold, so they were never formulated in full or solved. Not
+	// included in PairsSolved.
+	Pruned int
 	// FreshSolves is the number of GPs this invocation solved itself:
 	// equal to PairsSolved on a cache miss (or with caching off), 0
 	// when the result came from the solve cache.

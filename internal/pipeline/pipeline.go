@@ -38,6 +38,7 @@ import (
 	"repro/internal/loopnest"
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/solver"
 )
 
 // Run is the per-run context shared by the stages of one optimization
@@ -66,7 +67,34 @@ type Run struct {
 	cands                  []*integerized       // Integerize, filtered by Validate
 	best                   *DesignPoint         // Select
 
+	// Solver-workspace pool for the solve stage: every pair GP of a run
+	// shares one equality system, so a recycled workspace almost always
+	// hits its equality-elimination cache. Sized implicitly by the
+	// scheduler width (a workspace is only out of the pool while a job
+	// holds it).
+	wsMu   sync.Mutex
+	wsFree []*solver.Workspace
+
 	stats Stats
+}
+
+// getWS takes a solver workspace from the run's pool (or makes one).
+func (r *Run) getWS() *solver.Workspace {
+	r.wsMu.Lock()
+	defer r.wsMu.Unlock()
+	if n := len(r.wsFree); n > 0 {
+		ws := r.wsFree[n-1]
+		r.wsFree = r.wsFree[:n-1]
+		return ws
+	}
+	return solver.NewWorkspace()
+}
+
+// putWS returns a workspace to the pool for the next job.
+func (r *Run) putWS(ws *solver.Workspace) {
+	r.wsMu.Lock()
+	r.wsFree = append(r.wsFree, ws)
+	r.wsMu.Unlock()
 }
 
 // Context returns the run's context (cancelling it stops admission of
@@ -189,6 +217,7 @@ func Execute(ctx context.Context, p *loopnest.Problem, opts Options) (*Result, e
 			combined.NewtonIters += out.res.Stats.NewtonIters
 			combined.Infeasible += out.res.Stats.Infeasible
 			combined.Suboptimal += out.res.Stats.Suboptimal
+			combined.Pruned += out.res.Stats.Pruned
 		}
 		if out.err != nil {
 			if o.Enabled(obs.Debug) {

@@ -77,6 +77,18 @@ type Options struct {
 	// Span, when tracing, parents this solve's phase spans (so each GP
 	// solve nests under its caller's span). May be nil.
 	Span *obs.Span
+	// Workspace supplies reusable solve scratch and the equality-
+	// elimination cache (see Workspace). Nil uses a fresh workspace per
+	// call. Results are identical either way; reuse only changes
+	// allocation behavior.
+	Workspace *Workspace
+	// WarmStart marks the hint as seeded from a neighboring solution.
+	// It does not change the algorithm — the hint is honored either way —
+	// only the telemetry: warm-started solves report warm_start and
+	// phase1_skipped on solve_end events and count into the
+	// solver.warmstart.hit / solver.warmstart.miss counters (hit means
+	// the hint was already strictly feasible, so phase I was skipped).
+	WarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -150,6 +162,9 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 			"objective":  res.Objective,
 			"gap":        res.Gap,
 			"phase1":     res.PhaseI,
+			"warm_start": opts.WarmStart,
+			"phase1_skipped": opts.WarmStart &&
+				res.Status != Infeasible && !res.PhaseI,
 			//tlvet:ignore wallclock -- telemetry: wall_us on solve_end events; never feeds solve results
 			"wall_us": time.Since(t0).Microseconds(),
 		})
@@ -158,6 +173,13 @@ func Solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	o.Counter("solver.newton_iters").Add(int64(res.Newton))
 	if res.Status == Infeasible {
 		o.Counter("solver.infeasible").Inc()
+	}
+	if opts.WarmStart {
+		if res.Status != Infeasible && !res.PhaseI {
+			o.Counter("solver.warmstart.hit").Inc()
+		} else {
+			o.Counter("solver.warmstart.miss").Inc()
+		}
 	}
 	if span != nil {
 		span.Annotate(
@@ -176,41 +198,39 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	if p.N <= 0 {
 		return Result{}, fmt.Errorf("%w: N = %d", ErrBadProblem, p.N)
 	}
+	ws := opts.Workspace
+	if ws == nil {
+		ws = NewWorkspace()
+	}
 
-	// Eliminate equality constraints: y = yPart + Z·z.
-	var yPart []float64
-	var zBasis *linalg.Dense
-	if p.Aeq != nil && p.Aeq.Rows > 0 {
-		if p.Aeq.Cols != p.N || len(p.Beq) != p.Aeq.Rows {
-			return Result{}, fmt.Errorf("%w: equality dimensions", ErrBadProblem)
-		}
-		var err error
-		yPart, zBasis, err = linalg.SolveWithNullspace(p.Aeq, p.Beq)
-		if err != nil {
-			return Result{Status: Infeasible}, nil
-		}
-	} else {
-		yPart = make([]float64, p.N)
-		zBasis = identity(p.N)
+	// Eliminate equality constraints: y = yPart + Z·z (cached across
+	// solves that share the same equality system and box bound).
+	if p.Aeq != nil && p.Aeq.Rows > 0 && (p.Aeq.Cols != p.N || len(p.Beq) != p.Aeq.Rows) {
+		return Result{}, fmt.Errorf("%w: equality dimensions", ErrBadProblem)
+	}
+	yPart, zBasis, boxComp, elimErr := ws.eliminate(p, opts.Box)
+	if elimErr != nil {
+		return Result{Status: Infeasible}, nil
 	}
 	nz := zBasis.Cols
 
 	// Compose all functions with the affine map. Box constraints on the
 	// original coordinates keep every subproblem (notably phase I)
-	// bounded.
-	obj := p.Obj.Compose(yPart, zBasis)
-	allIneq := p.Ineq
-	if opts.Box > 0 {
-		allIneq = append(append([]LSE(nil), p.Ineq...), boxConstraints(p.N, opts.Box)...)
+	// bounded; their composed forms come from the elimination cache.
+	composeInto(&ws.objScratch, &p.Obj, yPart, zBasis)
+	obj := ws.objScratch
+	ws.ineqScratch = growLSEs(&ws.ineqScratch, len(p.Ineq))
+	ineq := ws.ineqList[:0]
+	for i := range p.Ineq {
+		composeInto(&ws.ineqScratch[i], &p.Ineq[i], yPart, zBasis)
+		ineq = append(ineq, ws.ineqScratch[i])
 	}
-	ineq := make([]LSE, len(allIneq))
-	for i := range allIneq {
-		ineq[i] = allIneq[i].Compose(yPart, zBasis)
-	}
+	ineq = append(ineq, boxComp...)
+	ws.ineqList = ineq
 
 	recover := func(z []float64) []float64 {
 		y := append([]float64(nil), yPart...)
-		tmp := make([]float64, p.N)
+		tmp := growF(&ws.recTmp, p.N)
 		zBasis.MulVec(z, tmp)
 		linalg.AXPY(1, tmp, y)
 		return y
@@ -231,7 +251,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	// Initial z: project the hint onto the manifold coordinates.
 	z := make([]float64, nz)
 	if yHint != nil {
-		projectHint(yHint, yPart, zBasis, z)
+		ws.projectHint(yHint, yPart, zBasis, z)
 	}
 
 	totalNewton := 0
@@ -244,7 +264,7 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 		opts.Obs.Counter("solver.phase1_runs").Inc()
 		var ok bool
 		var n int
-		z, ok, n = phaseI(ineq, z, opts)
+		z, ok, n = phaseI(ws, ineq, z, opts)
 		totalNewton += n
 		if ph != nil {
 			ph.Annotate(obs.Int("newton", n), obs.Attr{Key: "feasible", Value: ok})
@@ -266,14 +286,14 @@ func solve(p *Problem, yHint []float64, opts Options) (Result, error) {
 	emit := opts.Obs.EventsEnabled()
 	if m == 0 {
 		// Unconstrained: single Newton minimization of the objective.
-		n, _, converged := newtonMinimize(&obj, nil, 1, z, opts, nil)
+		n, _, converged := newtonMinimize(ws, &obj, nil, 1, z, opts, nil)
 		totalNewton += n
 		if !converged {
 			status = Suboptimal
 		}
 	} else {
 		for centerings < opts.MaxCentering {
-			n, bt, converged := newtonMinimize(&obj, ineq, t, z, opts, nil)
+			n, bt, converged := newtonMinimize(ws, &obj, ineq, t, z, opts, nil)
 			totalNewton += n
 			centerings++
 			if !converged {
@@ -339,26 +359,32 @@ func identity(n int) *linalg.Dense {
 	return m
 }
 
-// projectHint solves min ||yPart + Z z − yHint||² for z.
-func projectHint(yHint, yPart []float64, zb *linalg.Dense, z []float64) {
+// projectHint solves min ||yPart + Z z − yHint||² for z. The Gram
+// matrix ZᵀZ depends only on the nullspace basis, so it is cached with
+// the equality elimination and rebuilt only when the basis changes.
+func (ws *Workspace) projectHint(yHint, yPart []float64, zb *linalg.Dense, z []float64) {
 	n, nz := zb.Rows, zb.Cols
-	d := make([]float64, n)
+	d := growF(&ws.hintD, n)
 	for i := 0; i < n; i++ {
 		d[i] = yHint[i] - yPart[i]
 	}
-	rhs := make([]float64, nz)
+	rhs := growF(&ws.hintRhs, nz)
 	zb.MulTransVec(d, rhs)
-	ztz := linalg.NewDense(nz, nz)
-	for i := 0; i < nz; i++ {
-		for j := 0; j < nz; j++ {
-			s := 0.0
-			for k := 0; k < n; k++ {
-				s += zb.At(k, i) * zb.At(k, j)
+	if !ws.ztzValid || ws.ztz == nil || ws.ztz.Rows != nz {
+		ztz := growDense(&ws.ztz, nz, nz)
+		for i := 0; i < nz; i++ {
+			for j := 0; j < nz; j++ {
+				s := 0.0
+				for k := 0; k < n; k++ {
+					s += zb.At(k, i) * zb.At(k, j)
+				}
+				ztz.Set(i, j, s)
 			}
-			ztz.Set(i, j, s)
 		}
+		ws.ztzValid = true
 	}
-	if sol, err := linalg.SolveSPD(ztz, rhs); err == nil {
+	sol := growF(&ws.hintSol, nz)
+	if err := ws.Lin.SolveSPDTo(sol, ws.ztz, rhs); err == nil {
 		copy(z, sol)
 	}
 }
@@ -375,26 +401,36 @@ func strictlyFeasible(ineq []LSE, z []float64, margin float64) bool {
 // phaseI finds a strictly feasible point by minimizing s subject to
 // fi(z) ≤ s over the extended variable (z, s), stopping as soon as
 // s < 0 at a centered point. Returns the feasible z and success.
-func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
+func phaseI(ws *Workspace, ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 	nz := len(z0)
 	dim := nz + 1
 	// Extended constraints fi(z) − s ≤ 0 plus a floor s ≥ −1
 	// (−s − 1 ≤ 0) to keep the problem bounded.
-	ext := make([]LSE, 0, len(ineq)+1)
+	ws.extScratch = growLSEs(&ws.extScratch, len(ineq)+1)
+	ext := ws.extList[:0]
 	for i := range ineq {
-		ext = append(ext, ineq[i].ExtendDim(dim, -1))
+		extendInto(&ws.extScratch[i], &ineq[i], dim, -1)
+		ext = append(ext, ws.extScratch[i])
 	}
-	floor := make([]float64, dim)
+	fl := &ws.extScratch[len(ineq)]
+	floor := growF(&ws.hintD, dim) // hintD is free during phase I
+	for i := range floor {
+		floor[i] = 0
+	}
 	floor[dim-1] = -1
-	ext = append(ext, Linear(floor, -1))
+	linearInto(fl, floor, -1)
+	ext = append(ext, *fl)
+	ws.extList = ext
 
 	// Objective: minimize s.
-	objA := make([]float64, dim)
+	objA := floor // reuse: only the last coordinate differs
 	objA[dim-1] = 1
-	obj := Linear(objA, 0)
+	obj := ws.phObjLSE
+	linearInto(&obj, objA, 0)
+	ws.phObjLSE = obj
 
 	// Strictly feasible start: s = max fi(z0) + 1.
-	x := make([]float64, dim)
+	x := growF(&ws.phX, dim)
 	copy(x, z0)
 	maxF := math.Inf(-1)
 	for i := range ineq {
@@ -412,7 +448,7 @@ func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 		return x[dim-1] < -1e-6 && strictlyFeasible(ineq, x[:nz], 0)
 	}
 	for c := 0; c < opts.MaxCentering; c++ {
-		n, _, _ := newtonMinimize(&obj, ext, t, x, opts, stop)
+		n, _, _ := newtonMinimize(ws, &obj, ext, t, x, opts, stop)
 		total += n
 		if x[dim-1] < -1e-7 {
 			out := append([]float64(nil), x[:nz]...)
@@ -434,19 +470,30 @@ func phaseI(ineq []LSE, z0 []float64, opts Options) ([]float64, bool, int) {
 // count, and whether the decrement tolerance was reached. f0 may be
 // nil-adjacent only via ineq==nil unconstrained mode (then the barrier
 // term is absent).
-func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (iters, bt int, converged bool) {
+func newtonMinimize(ws *Workspace, f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, stop func([]float64) bool) (iters, bt int, converged bool) {
 	n := len(z)
 	log := opts.Obs.Logger()
 	backtracks := opts.Obs.Counter("solver.linesearch_backtracks")
-	g := make([]float64, n)
-	h := linalg.NewDense(n, n)
-	gTmp := make([]float64, n)
-	hTmp := linalg.NewDense(n, n)
+	g := growF(&ws.g, n)
+	h := growDense(&ws.h, n, n)
+	gTmp := growF(&ws.gTmp, n)
+	hTmp := growDense(&ws.hTmp, n, n)
+
+	// evalLSE routes multi-term evaluations through workspace scratch so
+	// the inner loop stays allocation-free (the single-term fast path
+	// inside Eval never needed scratch).
+	evalLSE := func(f *LSE, y []float64, g []float64, h *linalg.Dense) float64 {
+		k := len(f.B)
+		if k == 1 {
+			return f.Eval(y, g, h)
+		}
+		return f.evalScratch(y, g, h, growF(&ws.evalU, k), growF(&ws.evalP, k))
+	}
 
 	eval := func(z []float64, needDeriv bool) (float64, bool) {
 		var val float64
 		if needDeriv {
-			val = t * f0.Eval(z, g, h)
+			val = t * evalLSE(f0, z, g, h)
 			linalg.Scale(t, g)
 			for i := range h.Data {
 				h.Data[i] *= t
@@ -455,9 +502,18 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			val = t * f0.Value(z)
 		}
 		for i := range ineq {
+			// Affine constraints (single-term LSEs: box walls, trip lower
+			// bounds — the bulk of every GP here) have an exactly-zero
+			// Hessian, so skip both its evaluation and its accumulation;
+			// only the rank-1 barrier curvature inv²·g·gᵀ remains.
+			affine := ineq[i].Terms() == 1
 			var fi float64
 			if needDeriv {
-				fi = ineq[i].Eval(z, gTmp, hTmp)
+				if affine {
+					fi = ineq[i].Eval(z, gTmp, nil)
+				} else {
+					fi = evalLSE(&ineq[i], z, gTmp, hTmp)
+				}
 			} else {
 				fi = ineq[i].Value(z)
 			}
@@ -472,6 +528,19 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 				inv := -1.0 / fi // positive
 				linalg.AXPY(inv, gTmp, g)
 				inv2 := inv * inv
+				if affine {
+					for r := 0; r < n; r++ {
+						gr := gTmp[r]
+						for c := 0; c <= r; c++ {
+							v := inv2 * gr * gTmp[c]
+							h.Add(r, c, v)
+							if c != r {
+								h.Add(c, r, v)
+							}
+						}
+					}
+					continue
+				}
 				for r := 0; r < n; r++ {
 					gr := gTmp[r]
 					for c := 0; c <= r; c++ {
@@ -487,7 +556,9 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 		return val, true
 	}
 
-	zTrial := make([]float64, n)
+	zTrial := growF(&ws.zTrial, n)
+	negG := growF(&ws.negG, n)
+	dir := growF(&ws.dir, n)
 	for it := 0; it < opts.MaxNewton; it++ {
 		val, ok := eval(z, true)
 		if !ok {
@@ -496,12 +567,11 @@ func newtonMinimize(f0 *LSE, ineq []LSE, t float64, z []float64, opts Options, s
 			}
 			return it, bt, false // should not happen from a feasible start
 		}
-		negG := make([]float64, n)
 		for i := range g {
 			negG[i] = -g[i]
 		}
-		d, err := linalg.SolveSPD(h, negG)
-		if err != nil {
+		d := dir
+		if err := ws.Lin.SolveSPDTo(d, h, negG); err != nil {
 			// Fall back to steepest descent.
 			d = negG
 		}

@@ -15,8 +15,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Same-day re-records must not overwrite the earlier point — the whole
+# value of the trajectory is the before/after pair — so on collision the
+# filename gains a letter suffix (BENCH_<date>b.json, c, ...).
 out="BENCH_$(date -u +%Y%m%d).json"
-pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache|BenchmarkNetworkScheduler|BenchmarkOptimizeTracing|BenchmarkServeWarm'
+if [ -e "$out" ]; then
+    for s in b c d e f g h i j k; do
+        cand="BENCH_$(date -u +%Y%m%d)$s.json"
+        if [ ! -e "$cand" ]; then
+            out="$cand"
+            break
+        fi
+    done
+    if [ -e "$out" ]; then
+        echo "bench.sh: no free BENCH filename for today" >&2
+        exit 1
+    fi
+fi
+pattern='BenchmarkOptimizeColdCache|BenchmarkOptimizeColdPruned|BenchmarkOptimizeWarmCache|BenchmarkNetworkWarmCache|BenchmarkNetworkScheduler|BenchmarkOptimizeTracing|BenchmarkServeWarm'
 
 echo "== go test -bench ($pattern)"
 go test -run '^$' -bench "$pattern" -benchmem "$@" . \

@@ -15,7 +15,10 @@
 # -events/-manifest/-trace-out, the JSONL stream is validated against
 # the schema, a tlreport self-diff must come back regression-free, and
 # the Chrome trace file must parse and report a critical path
-# (`tlreport trace`). A final serve gate boots thistled on a random
+# (`tlreport trace`). A pruning/warm-start determinism gate runs the
+# whole-network fixture with the solve-path optimizations on and off,
+# at -parallel 1 and 4, and requires the manifests to agree to 1e-12.
+# A final serve gate boots thistled on a random
 # port (scripts/servecheck), POSTs the same layer with a client
 # request ID, verifies the ID joins the manifest, trace, and access
 # log, probes the telemetry surface (/metrics SLO families, /varz,
@@ -75,6 +78,22 @@ echo "== e2e trace gate (tlreport trace on the captured Chrome trace)"
 "$tmp/thistle" -layer resnet18_L12 -specs=false \
     -manifest "$tmp/notrace.manifest.json" >/dev/null
 "$tmp/tlreport" diff -wall-tol 1e9 "$tmp/run.manifest.json" "$tmp/notrace.manifest.json"
+
+echo "== pruning/warm-start determinism gate (whole network, on vs off, parallel 1 vs 4)"
+# Warm starts and bound pruning move solver iterates, never results:
+# the whole-network manifests must agree to 1e-12 across scheduler
+# widths and with both optimizations disabled.
+"$tmp/thistle" -pipeline resnet18 -specs=false -parallel 1 \
+    -manifest "$tmp/net.on.p1.manifest.json" >/dev/null
+"$tmp/thistle" -pipeline resnet18 -specs=false -parallel 4 \
+    -manifest "$tmp/net.on.p4.manifest.json" >/dev/null
+"$tmp/thistle" -pipeline resnet18 -specs=false -parallel 4 \
+    -no-bound-pruning -no-warm-start \
+    -manifest "$tmp/net.off.p4.manifest.json" >/dev/null
+"$tmp/tlreport" diff -edp-tol 1e-12 -energy-tol 1e-12 -delay-tol 1e-12 -wall-tol 1e9 \
+    "$tmp/net.on.p1.manifest.json" "$tmp/net.on.p4.manifest.json"
+"$tmp/tlreport" diff -edp-tol 1e-12 -energy-tol 1e-12 -delay-tol 1e-12 -wall-tol 1e9 \
+    "$tmp/net.on.p1.manifest.json" "$tmp/net.off.p4.manifest.json"
 
 echo "== e2e serve gate (thistled vs thistle CLI, telemetry, graceful drain)"
 go build -o "$tmp/thistled" ./cmd/thistled
